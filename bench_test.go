@@ -1,0 +1,159 @@
+package netdimm
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark runs a (scaled) version of the
+// experiment and reports the figure's key quantities via b.ReportMetric,
+// so `go test -bench=. -benchmem` regenerates the paper's rows/series.
+// Full-resolution runs are available through cmd/netdimm-sim.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkTable1 exercises constructing the paper's Table 1 system
+// configuration (and renders it once for the log).
+func BenchmarkTable1(b *testing.B) {
+	var tbl string
+	for i := 0; i < b.N; i++ {
+		tbl = DefaultConfig().Table()
+	}
+	if len(tbl) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4 and reports the 2000B dNIC latency and
+// PCIe share.
+func BenchmarkFig4(b *testing.B) {
+	var rows []Fig4Result
+	for i := 0; i < b.N; i++ {
+		rows = RunFig4([]int{10, 60, 200, 500, 1000, 2000}, 100*time.Nanosecond)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(float64(last.DNIC.Nanoseconds()), "dNIC-2000B-ns")
+	b.ReportMetric(last.PCIeShare*100, "pcie-share-%")
+}
+
+// BenchmarkFig5 regenerates a three-point Fig. 5 sweep and reports the
+// max-pressure bandwidth fraction.
+func BenchmarkFig5(b *testing.B) {
+	var rows []Fig5Result
+	for i := 0; i < b.N; i++ {
+		rows = RunFig5([]time.Duration{time.Second, 500 * time.Nanosecond, 5 * time.Nanosecond})
+	}
+	base := rows[0].BandwidthGbps
+	worst := rows[len(rows)-1].BandwidthGbps
+	b.ReportMetric(base, "idle-gbps")
+	b.ReportMetric(worst/base*100, "pressured-%")
+}
+
+// BenchmarkFig7 regenerates the DMA locality trace and reports the burst
+// span.
+func BenchmarkFig7(b *testing.B) {
+	var pts []Fig7Result
+	for i := 0; i < b.N; i++ {
+		pts = RunFig7()
+	}
+	span := pts[23].RelTime - pts[0].RelTime
+	b.ReportMetric(float64(span.Nanoseconds()), "burst-span-ns")
+	b.ReportMetric(float64(len(pts)), "requests")
+}
+
+// BenchmarkFig11 regenerates the central latency experiment and reports
+// NetDIMM's average reduction against both baselines.
+func BenchmarkFig11(b *testing.B) {
+	var rows []Fig11Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunFig11([]int{64, 256, 1024, 1514}, 100*time.Nanosecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var vsD, vsI float64
+	for _, r := range rows {
+		vsD += r.ReductionVsDNIC
+		vsI += r.ReductionVsINIC
+	}
+	b.ReportMetric(vsD/float64(len(rows))*100, "red-vs-dNIC-%")
+	b.ReportMetric(vsI/float64(len(rows))*100, "red-vs-iNIC-%")
+}
+
+// BenchmarkFig12a regenerates a scaled cluster replay and reports the
+// average per-packet reduction at 25ns and 200ns switch latency.
+func BenchmarkFig12a(b *testing.B) {
+	var rows []Fig12aResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = RunFig12a(200, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	agg := map[time.Duration][]float64{}
+	for _, r := range rows {
+		agg[r.SwitchLatency] = append(agg[r.SwitchLatency], 1-r.NormVsDNIC)
+	}
+	for _, sl := range []time.Duration{25 * time.Nanosecond, 200 * time.Nanosecond} {
+		var sum float64
+		for _, v := range agg[sl] {
+			sum += v
+		}
+		b.ReportMetric(sum/float64(len(agg[sl]))*100, fmt.Sprintf("red-%dns-%%", sl.Nanoseconds()))
+	}
+}
+
+// BenchmarkFig12b regenerates the interference study and reports the DPI
+// worst-case and L3F best-case deltas vs iNIC.
+func BenchmarkFig12b(b *testing.B) {
+	var rows []Fig12bResult
+	for i := 0; i < b.N; i++ {
+		rows = RunFig12b()
+	}
+	var dpiWorst, l3fBest float64
+	for _, r := range rows {
+		if r.Function == DeepInspect && r.Norm-1 > dpiWorst {
+			dpiWorst = r.Norm - 1
+		}
+		if r.Function == L3Forwarding && 1-r.Norm > l3fBest {
+			l3fBest = 1 - r.Norm
+		}
+	}
+	b.ReportMetric(dpiWorst*100, "DPI-worst-%")
+	b.ReportMetric(l3fBest*100, "L3F-best-%")
+}
+
+// BenchmarkHeadline regenerates the abstract's summary numbers.
+func BenchmarkHeadline(b *testing.B) {
+	var h HeadlineResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		h, err = RunHeadline(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(h.AvgReductionVsDNIC*100, "vs-dNIC-%")
+	b.ReportMetric(h.AvgReductionVsINIC*100, "vs-iNIC-%")
+}
+
+// BenchmarkOneWayPacket measures the simulator's own throughput on the
+// core single-packet path (not a paper figure; a harness health metric).
+func BenchmarkOneWayPacket(b *testing.B) {
+	tx, err := NewNetDIMM(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx, err := NewNetDIMM(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OneWayLatency(tx, rx, 1514, 100*time.Nanosecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Command netdimm-sim runs the paper's experiments and prints their
+// tables/series.
+//
+// Usage:
+//
+//	netdimm-sim [flags] <experiment>
+//
+// Experiments: table1, fig4, fig5, fig7, fig11, fig12a, fig12b, headline,
+// all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"netdimm"
+)
+
+var (
+	packets   = flag.Int("n", 1000, "packets per trace-replay cell (fig12a, headline)")
+	switchLat = flag.Duration("switch", 100*time.Nanosecond, "switch port-to-port latency (fig4, fig11)")
+	seed      = flag.Uint64("seed", 3, "trace generator seed")
+	asCSV     = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (fig4, fig5, fig7, fig11, fig12a, fig12b)")
+)
+
+// csvOut prints one CSV record.
+func csvOut(fields ...string) {
+	for i, f := range fields {
+		if i > 0 {
+			fmt.Print(",")
+		}
+		fmt.Print(f)
+	}
+	fmt.Println()
+}
+
+func main() {
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 || flag.NArg() > 2 {
+		usage()
+		os.Exit(2)
+	}
+	exp := flag.Arg(0)
+	if err := run(exp); err != nil {
+		fmt.Fprintf(os.Stderr, "netdimm-sim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: netdimm-sim [flags] <experiment>
+
+experiments:
+  table1   system configuration (paper Table 1)
+  fig4     one-way latency of dNIC/dNIC.zcpy/iNIC/iNIC.zcpy + PCIe share
+  fig5     iperf bandwidth under MLC memory pressure
+  fig7     NIC DMA access locality (six 1514B receptions)
+  fig11    one-way latency breakdown: dNIC / iNIC / NetDIMM
+  fig12a   cluster trace replay across switch latencies
+  fig12b   co-running app memory latency under DPI and L3F
+  bandwidth sustained 40GbE line-rate check (Sec. 5.2)
+  ablation  design-choice ablations (nPrefetcher, nCache, FPM, allocCache)
+  mixed     DDR + NetDIMM coexistence on one channel (NVDIMM-P async, Sec. 2.2)
+  replay F  replay a netdimm-trace file under all three architectures
+  headline the abstract's summary numbers
+  all      everything above
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func run(exp string) error {
+	switch exp {
+	case "table1":
+		fmt.Print(netdimm.DefaultConfig().Table())
+	case "fig4":
+		runFig4()
+	case "fig5":
+		runFig5()
+	case "fig7":
+		runFig7()
+	case "fig11":
+		return runFig11()
+	case "fig12a":
+		return runFig12a()
+	case "fig12b":
+		runFig12b()
+	case "headline":
+		return runHeadline()
+	case "bandwidth":
+		return runBandwidth()
+	case "ablation":
+		return runAblation()
+	case "mixed":
+		return runMixed()
+	case "replay":
+		if flag.NArg() != 2 {
+			return fmt.Errorf("replay: usage: netdimm-sim replay FILE")
+		}
+		return runReplay(flag.Arg(1))
+	case "all":
+		fmt.Print(netdimm.DefaultConfig().Table())
+		fmt.Println()
+		runFig4()
+		fmt.Println()
+		runFig5()
+		fmt.Println()
+		runFig7()
+		fmt.Println()
+		if err := runFig11(); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := runFig12a(); err != nil {
+			return err
+		}
+		fmt.Println()
+		runFig12b()
+		fmt.Println()
+		if err := runBandwidth(); err != nil {
+			return err
+		}
+		fmt.Println()
+		if err := runAblation(); err != nil {
+			return err
+		}
+		fmt.Println()
+		return runHeadline()
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func runFig4() {
+	if *asCSV {
+		csvOut("size", "dnic_ns", "dnic_zcpy_ns", "inic_ns", "inic_zcpy_ns", "pcie_share", "pcie_share_zcpy")
+		for _, r := range netdimm.RunFig4(nil, *switchLat) {
+			csvOut(fmt.Sprint(r.Size),
+				fmt.Sprint(r.DNIC.Nanoseconds()), fmt.Sprint(r.DNICZcpy.Nanoseconds()),
+				fmt.Sprint(r.INIC.Nanoseconds()), fmt.Sprint(r.INICZcpy.Nanoseconds()),
+				fmt.Sprintf("%.4f", r.PCIeShare), fmt.Sprintf("%.4f", r.PCIeShareZcpy))
+		}
+		return
+	}
+	fmt.Printf("Fig. 4 — one-way latency, baseline NICs (switch %v)\n", *switchLat)
+	fmt.Printf("%6s  %10s  %10s  %10s  %10s  %10s  %10s\n",
+		"size", "dNIC", "dNIC.zcpy", "iNIC", "iNIC.zcpy", "pcie.overh", "pcie.zcpy")
+	for _, r := range netdimm.RunFig4(nil, *switchLat) {
+		fmt.Printf("%6d  %10v  %10v  %10v  %10v  %9.1f%%  %9.1f%%\n",
+			r.Size, r.DNIC, r.DNICZcpy, r.INIC, r.INICZcpy,
+			r.PCIeShare*100, r.PCIeShareZcpy*100)
+	}
+}
+
+func runFig5() {
+	if *asCSV {
+		csvOut("inject_delay_ns", "gbps", "mem_read_ns")
+		for _, r := range netdimm.RunFig5(nil) {
+			csvOut(fmt.Sprint(r.InjectDelay.Nanoseconds()),
+				fmt.Sprintf("%.2f", r.BandwidthGbps), fmt.Sprintf("%.1f", r.MemReadNs))
+		}
+		return
+	}
+	fmt.Println("Fig. 5 — iperf bandwidth vs MLC memory pressure")
+	fmt.Printf("%14s  %10s  %12s\n", "inject delay", "Gbps", "mem read ns")
+	for _, r := range netdimm.RunFig5(nil) {
+		delay := r.InjectDelay.String()
+		if r.InjectDelay >= time.Second {
+			delay = "none"
+		}
+		fmt.Printf("%14s  %10.1f  %12.0f\n", delay, r.BandwidthGbps, r.MemReadNs)
+	}
+}
+
+func runFig7() {
+	if *asCSV {
+		csvOut("rel_cacheline", "rel_time_ns", "burst")
+		for _, p := range netdimm.RunFig7() {
+			csvOut(fmt.Sprint(p.RelCacheline), fmt.Sprint(p.RelTime.Nanoseconds()), fmt.Sprint(p.Burst))
+		}
+		return
+	}
+	fmt.Println("Fig. 7 — DMA request trace, six 1514B receptions (rel line, rel ns, burst)")
+	pts := netdimm.RunFig7()
+	for i, p := range pts {
+		fmt.Printf("%4d %8.1f %d", p.RelCacheline, float64(p.RelTime.Nanoseconds()), p.Burst)
+		if (i+1)%4 == 0 {
+			fmt.Println()
+		} else {
+			fmt.Print("   |   ")
+		}
+	}
+	fmt.Println()
+}
+
+func runFig11() error {
+	rows, err := netdimm.RunFig11(nil, *switchLat)
+	if err != nil {
+		return err
+	}
+	if *asCSV {
+		csvOut("size", "arch", "txCopy_ns", "rxCopy_ns", "txDMA_ns", "rxDMA_ns",
+			"wire_ns", "ioReg_ns", "txFlush_ns", "rxInvalidate_ns", "total_ns")
+		emit := func(size int, arch string, b netdimm.LatencyBreakdown) {
+			csvOut(fmt.Sprint(size), arch,
+				fmt.Sprint(b.TxCopy.Nanoseconds()), fmt.Sprint(b.RxCopy.Nanoseconds()),
+				fmt.Sprint(b.TxDMA.Nanoseconds()), fmt.Sprint(b.RxDMA.Nanoseconds()),
+				fmt.Sprint(b.Wire.Nanoseconds()), fmt.Sprint(b.IOReg.Nanoseconds()),
+				fmt.Sprint(b.TxFlush.Nanoseconds()), fmt.Sprint(b.RxInvalidate.Nanoseconds()),
+				fmt.Sprint(b.Total.Nanoseconds()))
+		}
+		for _, r := range rows {
+			emit(r.Size, "dNIC", r.DNIC)
+			emit(r.Size, "iNIC", r.INIC)
+			emit(r.Size, "NetDIMM", r.NetDIMM)
+		}
+		return nil
+	}
+	fmt.Printf("Fig. 11 — one-way latency breakdown (switch %v)\n", *switchLat)
+	for _, r := range rows {
+		fmt.Printf("size %dB:\n", r.Size)
+		fmt.Printf("  dNIC    %v\n", r.DNIC)
+		fmt.Printf("  iNIC    %v\n", r.INIC)
+		fmt.Printf("  NetDIMM %v\n", r.NetDIMM)
+		fmt.Printf("  reduction: %.1f%% vs dNIC, %.1f%% vs iNIC\n",
+			r.ReductionVsDNIC*100, r.ReductionVsINIC*100)
+	}
+	return nil
+}
+
+func runFig12a() error {
+	rows, err := netdimm.RunFig12a(*packets, *seed)
+	if err != nil {
+		return err
+	}
+	if *asCSV {
+		csvOut("cluster", "switch_ns", "dnic_mean_ns", "inic_mean_ns", "netdimm_mean_ns", "norm_dnic", "norm_inic")
+		for _, r := range rows {
+			csvOut(string(r.Cluster), fmt.Sprint(r.SwitchLatency.Nanoseconds()),
+				fmt.Sprint(r.DNICMean.Nanoseconds()), fmt.Sprint(r.INICMean.Nanoseconds()),
+				fmt.Sprint(r.NetDIMMMean.Nanoseconds()),
+				fmt.Sprintf("%.4f", r.NormVsDNIC), fmt.Sprintf("%.4f", r.NormVsINIC))
+		}
+		return nil
+	}
+	fmt.Printf("Fig. 12a — normalized per-packet latency, %d packets/cell\n", *packets)
+	fmt.Printf("%-10s  %8s  %10s  %10s  %12s  %12s\n",
+		"cluster", "switch", "dNIC mean", "ND mean", "norm(dNIC)", "norm(iNIC)")
+	for _, r := range rows {
+		fmt.Printf("%-10s  %8v  %10v  %10v  %12.3f  %12.3f\n",
+			r.Cluster, r.SwitchLatency, r.DNICMean, r.NetDIMMMean, r.NormVsDNIC, r.NormVsINIC)
+	}
+	return nil
+}
+
+func runFig12b() {
+	if *asCSV {
+		csvOut("cluster", "nf", "inic_ns", "netdimm_ns", "norm")
+		for _, r := range netdimm.RunFig12b() {
+			csvOut(string(r.Cluster), string(r.Function),
+				fmt.Sprintf("%.2f", r.INICNs), fmt.Sprintf("%.2f", r.NetDIMMNs),
+				fmt.Sprintf("%.4f", r.Norm))
+		}
+		return
+	}
+	fmt.Println("Fig. 12b — co-running app memory latency (normalized to iNIC)")
+	fmt.Printf("%-10s  %-4s  %10s  %10s  %8s\n", "cluster", "nf", "iNIC ns", "ND ns", "norm")
+	for _, r := range netdimm.RunFig12b() {
+		fmt.Printf("%-10s  %-4s  %10.1f  %10.1f  %8.3f\n",
+			r.Cluster, r.Function, r.INICNs, r.NetDIMMNs, r.Norm)
+	}
+}
+
+func runBandwidth() error {
+	rows, err := netdimm.RunBandwidth(*packets)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Bandwidth — sustained 40GbE line-rate check (Sec. 5.2)")
+	fmt.Printf("%-8s  %8s  %9s  %11s  %9s  %s\n",
+		"arch", "offered", "achieved", "per-pkt RX", "headroom", "sustained")
+	for _, r := range rows {
+		head := "-"
+		if r.ChannelHeadroom > 0 {
+			head = fmt.Sprintf("%.0f%%", r.ChannelHeadroom*100)
+		}
+		fmt.Printf("%-8s  %7.1fG  %8.1fG  %11v  %9s  %v\n",
+			r.Arch, r.OfferedGbps, r.AchievedGbps, r.PerPacketRx, head, r.Sustained)
+	}
+	return nil
+}
+
+func runAblation() error {
+	rep, err := netdimm.RunAblations()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablations — what each NetDIMM design choice contributes")
+	fmt.Println("\nnPrefetcher degree vs payload-read behaviour:")
+	for _, r := range rep.Prefetch {
+		fmt.Printf("  degree %d: nCache hit rate %5.1f%%, mean read %v\n",
+			r.Degree, r.HitRate*100, r.MeanReadLat)
+	}
+	fmt.Println("\nBuffer copy strategy (one MTU packet):")
+	for _, r := range rep.Clone {
+		fmt.Printf("  %-38s %v\n", r.Strategy, r.PerClone)
+	}
+	fmt.Println("\nDMA-buffer allocation strategy:")
+	for _, r := range rep.Alloc {
+		fmt.Printf("  %-38s %8v critical-path, FPM rate %5.1f%%\n",
+			r.Strategy, r.PerAlloc, r.FPMRate*100)
+	}
+	fmt.Println("\nHeader caching (L3F-style access):")
+	for _, r := range rep.HeaderCache {
+		fmt.Printf("  %-28s header read %v, hit rate %5.1f%%\n",
+			r.Strategy, r.HeaderRead, r.HitRate*100)
+	}
+	return nil
+}
+
+func runMixed() error {
+	r, err := netdimm.RunMixedChannel(*packets, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Mixed channel — DDR + NetDIMM on one DDR5 channel (Sec. 2.2)")
+	fmt.Printf("  DDR reads:      %5d  mean %v\n", r.DDRReads, r.DDRMean)
+	fmt.Printf("  NetDIMM reads:  %5d  mean %v (asynchronous, non-deterministic)\n",
+		r.NetDIMMReads, r.NetDIMMMean)
+	fmt.Printf("  out-of-order completions: %d, max outstanding request IDs: %d\n",
+		r.OutOfOrder, r.MaxOutstandingIDs)
+	return nil
+}
+
+func runReplay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cluster, rows, err := netdimm.ReplayTraceFile(f, *switchLat, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Replay of %s (%s trace)\n", path, cluster)
+	fmt.Printf("%-8s  %8s  %10s  %10s  %10s\n", "arch", "packets", "mean", "p50", "p99")
+	for _, r := range rows {
+		fmt.Printf("%-8s  %8d  %10v  %10v  %10v\n", r.Arch, r.Packets, r.Mean, r.P50, r.P99)
+	}
+	return nil
+}
+
+func runHeadline() error {
+	h, err := netdimm.RunHeadline(*packets)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Headline numbers (paper values in parentheses)")
+	fmt.Printf("  avg one-way latency reduction vs dNIC: %.1f%% (49.9%%)\n", h.AvgReductionVsDNIC*100)
+	fmt.Printf("  avg one-way latency reduction vs iNIC: %.1f%% (25.9%%)\n", h.AvgReductionVsINIC*100)
+	var keys []time.Duration
+	for k := range h.TraceReductionBySwitch {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	paper := map[time.Duration]string{
+		25 * time.Nanosecond:  "40.6%",
+		50 * time.Nanosecond:  "36.0%",
+		100 * time.Nanosecond: "33.1%",
+		200 * time.Nanosecond: "25.3%",
+	}
+	for _, k := range keys {
+		fmt.Printf("  trace replay reduction @%v switch: %.1f%% (%s)\n",
+			k, h.TraceReductionBySwitch[k]*100, paper[k])
+	}
+	fmt.Printf("  DPI worst-case app-latency increase vs iNIC: +%.1f%% (+15.4%%)\n", h.DPIWorst*100)
+	fmt.Printf("  L3F best-case app-latency reduction vs iNIC: -%.1f%% (-30.9%%)\n", h.L3FBest*100)
+	return nil
+}

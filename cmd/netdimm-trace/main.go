@@ -1,0 +1,131 @@
+// Command netdimm-trace generates and inspects synthetic cluster traces
+// (the substitution for the Facebook production traces of paper Sec. 5.1).
+//
+// Usage:
+//
+//	netdimm-trace gen  -cluster webserver -n 10000 -seed 1 -o web.ndtr
+//	netdimm-trace info web.ndtr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netdimm/internal/ethernet"
+	"netdimm/internal/sim"
+	"netdimm/internal/trace"
+	"netdimm/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = genCmd(os.Args[2:])
+	case "info":
+		err = infoCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "netdimm-trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  netdimm-trace gen  [-cluster database|webserver|hadoop] [-n N] [-seed S] [-gap dur] -o FILE
+  netdimm-trace info FILE`)
+}
+
+func clusterByName(name string) (workload.Cluster, error) {
+	for _, c := range workload.Clusters {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown cluster %q", name)
+}
+
+func genCmd(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	clusterName := fs.String("cluster", "database", "cluster type")
+	n := fs.Int("n", 10000, "number of packets")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	gap := fs.Duration("gap", 0, "mean inter-arrival (0 = default)")
+	out := fs.String("o", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -o is required")
+	}
+	cluster, err := clusterByName(*clusterName)
+	if err != nil {
+		return err
+	}
+	gen := workload.NewGenerator(cluster, sim.Time(gap.Nanoseconds())*sim.Nanosecond, *seed)
+	events := gen.Generate(*n)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := trace.Header{Cluster: cluster, Seed: *seed, Count: uint32(len(events))}
+	if err := trace.Write(f, h, events); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d %s events to %s\n", len(events), cluster, *out)
+	return nil
+}
+
+func infoCmd(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("info: exactly one file expected")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, events, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %s   seed: %d   events: %d\n", h.Cluster, h.Seed, h.Count)
+	if len(events) == 0 {
+		return nil
+	}
+	var bytes int64
+	sizeHist := map[string]int{}
+	locHist := map[ethernet.Locality]int{}
+	for _, e := range events {
+		bytes += int64(e.Size)
+		switch {
+		case e.Size < 100:
+			sizeHist["<100B"]++
+		case e.Size < 300:
+			sizeHist["100-299B"]++
+		case e.Size < 1514:
+			sizeHist["300-1513B"]++
+		default:
+			sizeHist["1514B"]++
+		}
+		locHist[e.Locality]++
+	}
+	span := events[len(events)-1].At
+	fmt.Printf("span: %v   mean size: %dB\n", span, bytes/int64(len(events)))
+	for _, bucket := range []string{"<100B", "100-299B", "300-1513B", "1514B"} {
+		fmt.Printf("  size %-10s %6.1f%%\n", bucket, 100*float64(sizeHist[bucket])/float64(len(events)))
+	}
+	for loc, n := range locHist {
+		fmt.Printf("  locality %-18s %6.1f%%\n", loc, 100*float64(n)/float64(len(events)))
+	}
+	return nil
+}

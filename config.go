@@ -1,0 +1,75 @@
+package netdimm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is the simulated system configuration — the paper's Table 1.
+type Config struct {
+	Cores         int
+	CoreGHz       float64
+	SuperscalarW  int
+	ROBEntries    int
+	IQEntries     int
+	LQEntries     int
+	SQEntries     int
+	L1ISizeKB     int
+	L1DSizeKB     int
+	L2SizeMB      int
+	L1ILatCycles  int
+	L1DLatCycles  int
+	L2LatCycles   int
+	DRAM          string
+	DRAMSizeGB    int
+	MemChannels   int
+	NetworkGbps   int
+	SwitchLatNs   int
+	NetDIMMs      int
+	PCIe          string
+	NetDIMMSizeGB int
+}
+
+// DefaultConfig returns Table 1 of the paper.
+func DefaultConfig() Config {
+	return Config{
+		Cores:         8,
+		CoreGHz:       3.4,
+		SuperscalarW:  3,
+		ROBEntries:    40,
+		IQEntries:     32,
+		LQEntries:     16,
+		SQEntries:     16,
+		L1ISizeKB:     32,
+		L1DSizeKB:     64,
+		L2SizeMB:      2,
+		L1ILatCycles:  1,
+		L1DLatCycles:  2,
+		L2LatCycles:   12,
+		DRAM:          "DDR4-2400",
+		DRAMSizeGB:    16,
+		MemChannels:   2,
+		NetworkGbps:   40,
+		SwitchLatNs:   100,
+		NetDIMMs:      1,
+		PCIe:          "x8 PCIe Gen4",
+		NetDIMMSizeGB: 16,
+	}
+}
+
+// Table renders the configuration as the paper's Table 1.
+func (c Config) Table() string {
+	var sb strings.Builder
+	row := func(k, v string) { fmt.Fprintf(&sb, "%-34s %s\n", k, v) }
+	sb.WriteString("Table 1: System configuration.\n")
+	row("Cores (# cores, freq):", fmt.Sprintf("(%d, %.1fGHz)", c.Cores, c.CoreGHz))
+	row("Superscalar", fmt.Sprintf("%d ways", c.SuperscalarW))
+	row("ROB/IQ/LQ/SQ entries", fmt.Sprintf("%d/%d/%d/%d", c.ROBEntries, c.IQEntries, c.LQEntries, c.SQEntries))
+	row("Caches (size): I/D/L2", fmt.Sprintf("%dKB/%dKB/%dMB", c.L1ISizeKB, c.L1DSizeKB, c.L2SizeMB))
+	row("L1I/L1D/L2 latency", fmt.Sprintf("%d/%d/%d cycles", c.L1ILatCycles, c.L1DLatCycles, c.L2LatCycles))
+	row("DRAM", fmt.Sprintf("%s/%dGB/%d channels", c.DRAM, c.DRAMSizeGB, c.MemChannels))
+	row("Network/Switch latency/#NetDIMM", fmt.Sprintf("%dGbE/%dns/%d", c.NetworkGbps, c.SwitchLatNs, c.NetDIMMs))
+	row("PCIe performance", c.PCIe)
+	row("NetDIMM capacity", fmt.Sprintf("%dGB (two 8GB ranks)", c.NetDIMMSizeGB))
+	return sb.String()
+}

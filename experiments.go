@@ -1,0 +1,290 @@
+package netdimm
+
+import (
+	"time"
+
+	"netdimm/internal/experiments"
+	"netdimm/internal/netfunc"
+	"netdimm/internal/sim"
+	"netdimm/internal/workload"
+)
+
+// ClusterName identifies one of the three Facebook production cluster
+// types whose traffic the trace experiments replay.
+type ClusterName string
+
+// The three clusters of Sec. 5.1.
+const (
+	Database  ClusterName = "database"
+	Webserver ClusterName = "webserver"
+	Hadoop    ClusterName = "hadoop"
+)
+
+// AllClusters lists the clusters in presentation order.
+var AllClusters = []ClusterName{Database, Webserver, Hadoop}
+
+func (c ClusterName) internal() workload.Cluster {
+	switch c {
+	case Webserver:
+		return workload.Webserver
+	case Hadoop:
+		return workload.Hadoop
+	default:
+		return workload.Database
+	}
+}
+
+// NFKind identifies a network function for the interference study.
+type NFKind string
+
+// The two functions bracketing the packet-processing spectrum.
+const (
+	L3Forwarding NFKind = "L3F"
+	DeepInspect  NFKind = "DPI"
+)
+
+func (k NFKind) internal() netfunc.Kind {
+	if k == DeepInspect {
+		return netfunc.DPI
+	}
+	return netfunc.L3F
+}
+
+func simT(d time.Duration) sim.Time { return sim.Time(d.Nanoseconds()) * sim.Nanosecond }
+
+// Fig4Result is one row of the Fig. 4 motivation experiment.
+type Fig4Result struct {
+	Size          int
+	DNIC          time.Duration
+	DNICZcpy      time.Duration
+	INIC          time.Duration
+	INICZcpy      time.Duration
+	PCIeShare     float64
+	PCIeShareZcpy float64
+}
+
+// RunFig4 regenerates Fig. 4: one-way latency of the four baseline NIC
+// configurations with the PCIe overhead share.
+func RunFig4(sizes []int, switchLatency time.Duration) []Fig4Result {
+	if len(sizes) == 0 {
+		sizes = experiments.PaperSizes
+	}
+	rows := experiments.Fig4(sizes, simT(switchLatency))
+	out := make([]Fig4Result, len(rows))
+	for i, r := range rows {
+		out[i] = Fig4Result{
+			Size:          r.Size,
+			DNIC:          toDuration(r.DNIC),
+			DNICZcpy:      toDuration(r.DNICZcpy),
+			INIC:          toDuration(r.INIC),
+			INICZcpy:      toDuration(r.INICZcpy),
+			PCIeShare:     r.PCIeShare,
+			PCIeShareZcpy: r.PCIeShareZcpy,
+		}
+	}
+	return out
+}
+
+// Fig5Result is one memory-pressure level of Fig. 5.
+type Fig5Result struct {
+	InjectDelay   time.Duration
+	BandwidthGbps float64
+	MemReadNs     float64
+}
+
+// RunFig5 regenerates Fig. 5: iperf bandwidth under MLC-style memory
+// pressure. A nil delay slice uses a representative sweep from idle to
+// maximum pressure.
+func RunFig5(delays []time.Duration) []Fig5Result {
+	var ds []sim.Time
+	if len(delays) == 0 {
+		ds = []sim.Time{
+			sim.Second, // no interference
+			2 * sim.Microsecond, 500 * sim.Nanosecond, 100 * sim.Nanosecond,
+			50 * sim.Nanosecond, 20 * sim.Nanosecond, 10 * sim.Nanosecond, 5 * sim.Nanosecond,
+		}
+	} else {
+		for _, d := range delays {
+			ds = append(ds, simT(d))
+		}
+	}
+	rows := experiments.Fig5(ds, experiments.DefaultFig5Config())
+	out := make([]Fig5Result, len(rows))
+	for i, r := range rows {
+		out[i] = Fig5Result{
+			InjectDelay:   toDuration(r.InjectDelay),
+			BandwidthGbps: r.BandwidthGbps,
+			MemReadNs:     r.MemReadNs,
+		}
+	}
+	return out
+}
+
+// Fig7Result is one DMA memory request of the Fig. 7 locality study.
+type Fig7Result struct {
+	RelCacheline int
+	RelTime      time.Duration
+	Burst        int
+}
+
+// RunFig7 regenerates Fig. 7: the per-cacheline DMA request trace of six
+// received 1514B packets.
+func RunFig7() []Fig7Result {
+	pts := experiments.Fig7()
+	out := make([]Fig7Result, len(pts))
+	for i, p := range pts {
+		out[i] = Fig7Result{RelCacheline: p.RelLine, RelTime: toDuration(p.RelTime), Burst: p.Burst}
+	}
+	return out
+}
+
+// Fig11Result is one packet size's breakdown comparison.
+type Fig11Result struct {
+	Size            int
+	DNIC            LatencyBreakdown
+	INIC            LatencyBreakdown
+	NetDIMM         LatencyBreakdown
+	ReductionVsDNIC float64
+	ReductionVsINIC float64
+}
+
+// RunFig11 regenerates Fig. 11: the one-way latency breakdown of dNIC,
+// iNIC and NetDIMM across packet sizes.
+func RunFig11(sizes []int, switchLatency time.Duration) ([]Fig11Result, error) {
+	if len(sizes) == 0 {
+		sizes = experiments.PaperSizes
+	}
+	rows, err := experiments.Fig11(sizes, simT(switchLatency))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig11Result, len(rows))
+	for i, r := range rows {
+		out[i] = Fig11Result{
+			Size:            r.Size,
+			DNIC:            fromBreakdown(r.DNIC),
+			INIC:            fromBreakdown(r.INIC),
+			NetDIMM:         fromBreakdown(r.NetDIMM),
+			ReductionVsDNIC: r.ReductionVsDNIC(),
+			ReductionVsINIC: r.ReductionVsINIC(),
+		}
+	}
+	return out, nil
+}
+
+// Fig12aResult is one (cluster, switch latency) cell of Fig. 12(a).
+type Fig12aResult struct {
+	Cluster       ClusterName
+	SwitchLatency time.Duration
+	DNICMean      time.Duration
+	INICMean      time.Duration
+	NetDIMMMean   time.Duration
+	NormVsDNIC    float64
+	NormVsINIC    float64
+}
+
+// RunFig12a regenerates Fig. 12(a): cluster trace replay across switch
+// latencies. packets controls the trace length per cell (0 = 1000).
+func RunFig12a(packets int, seed uint64) ([]Fig12aResult, error) {
+	if packets <= 0 {
+		packets = 1000
+	}
+	rows, err := experiments.Fig12a(workload.Clusters, experiments.PaperSwitchLatencies, packets, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig12aResult, len(rows))
+	for i, r := range rows {
+		out[i] = Fig12aResult{
+			Cluster:       ClusterName(r.Cluster.String()),
+			SwitchLatency: toDuration(r.SwitchLatency),
+			DNICMean:      toDuration(r.DNICMean),
+			INICMean:      toDuration(r.INICMean),
+			NetDIMMMean:   toDuration(r.NetDIMMMean),
+			NormVsDNIC:    r.NormVsDNIC(),
+			NormVsINIC:    r.NormVsINIC(),
+		}
+	}
+	return out, nil
+}
+
+// Fig12bResult is one (cluster, function) cell of Fig. 12(b).
+type Fig12bResult struct {
+	Cluster   ClusterName
+	Function  NFKind
+	INICNs    float64
+	NetDIMMNs float64
+	Norm      float64
+}
+
+// RunFig12b regenerates Fig. 12(b): co-running application memory latency
+// under DPI and L3F, NetDIMM normalised to iNIC.
+func RunFig12b() []Fig12bResult {
+	rows := experiments.Fig12b(workload.Clusters,
+		[]netfunc.Kind{netfunc.DPI, netfunc.L3F}, experiments.DefaultFig12bConfig())
+	out := make([]Fig12bResult, len(rows))
+	for i, r := range rows {
+		out[i] = Fig12bResult{
+			Cluster:   ClusterName(r.Cluster.String()),
+			Function:  NFKind(r.Kind.String()),
+			INICNs:    r.INICAppNs,
+			NetDIMMNs: r.NetDIMMNs,
+			Norm:      r.Norm(),
+		}
+	}
+	return out
+}
+
+// HeadlineResult carries the abstract's summary numbers as measured.
+type HeadlineResult struct {
+	AvgReductionVsDNIC     float64
+	AvgReductionVsINIC     float64
+	TraceReductionBySwitch map[time.Duration]float64
+	DPIWorst               float64
+	L3FBest                float64
+}
+
+// RunHeadline measures the paper's headline numbers.
+func RunHeadline(packets int) (HeadlineResult, error) {
+	if packets <= 0 {
+		packets = 500
+	}
+	h, err := experiments.RunHeadline(packets)
+	if err != nil {
+		return HeadlineResult{}, err
+	}
+	out := HeadlineResult{
+		AvgReductionVsDNIC:     h.AvgReductionVsDNIC,
+		AvgReductionVsINIC:     h.AvgReductionVsINIC,
+		TraceReductionBySwitch: make(map[time.Duration]float64, len(h.TraceReductionBySwitch)),
+		DPIWorst:               h.DPIWorst,
+		L3FBest:                h.L3FBest,
+	}
+	for k, v := range h.TraceReductionBySwitch {
+		out.TraceReductionBySwitch[toDuration(k)] = v
+	}
+	return out, nil
+}
+
+// GenerateTrace produces a deterministic synthetic trace for a cluster:
+// n events with the published size and locality distributions.
+func GenerateTrace(cluster ClusterName, n int, seed uint64) []TraceEvent {
+	gen := workload.NewGenerator(cluster.internal(), 0, seed)
+	events := gen.Generate(n)
+	out := make([]TraceEvent, len(events))
+	for i, e := range events {
+		out[i] = TraceEvent{
+			At:       toDuration(e.At),
+			Size:     e.Size,
+			Locality: e.Locality.String(),
+		}
+	}
+	return out
+}
+
+// TraceEvent is one packet arrival of a generated trace.
+type TraceEvent struct {
+	At       time.Duration
+	Size     int
+	Locality string
+}

@@ -1,0 +1,22 @@
+package netdimm
+
+// Test-only seams: the public API intentionally does not expose the trace
+// writer (cmd/netdimm-trace owns file creation), but API tests need to
+// produce a valid stream.
+
+import (
+	"io"
+
+	"netdimm/internal/trace"
+	"netdimm/internal/workload"
+)
+
+func writeTraceForTest(w io.Writer, c ClusterName, seed uint64, n int) error {
+	gen := workload.NewGenerator(c.internal(), 0, seed)
+	events := gen.Generate(n)
+	return trace.Write(w, trace.Header{
+		Cluster: c.internal(),
+		Seed:    seed,
+		Count:   uint32(n),
+	}, events)
+}

@@ -1,0 +1,3 @@
+module netdimm
+
+go 1.22

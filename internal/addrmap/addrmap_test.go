@@ -1,0 +1,301 @@
+package addrmap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRankGeometryConstants(t *testing.T) {
+	if RankBytes != 8<<30 {
+		t.Fatalf("RankBytes = %d, want 8GB", RankBytes)
+	}
+	if SubarraysPerRank != 8192 {
+		t.Fatalf("SubarraysPerRank = %d, want 8K", SubarraysPerRank)
+	}
+	if SameSubarrayPageStride != 32*PageSize {
+		t.Fatalf("SameSubarrayPageStride = %d, want 32 pages", SameSubarrayPageStride)
+	}
+}
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		// Two ranks of 8GB -> 34 address bits.
+		local := int64(raw % (2 * uint64(RankBytes)))
+		return EncodeRank(DecodeRank(local)) == local
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeFieldsInRange(t *testing.T) {
+	f := func(raw uint64) bool {
+		local := int64(raw % (2 * uint64(RankBytes)))
+		l := DecodeRank(local)
+		return l.Rank >= 0 && l.Rank < 2 &&
+			l.Bank >= 0 && l.Bank < BanksPerRank &&
+			l.Subarray >= 0 && l.Subarray < SubarraysPerBank &&
+			l.Row >= 0 && l.Row < RowsPerSubarray &&
+			l.Column >= 0 && l.Column < RankRowBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Paper Fig. 9c: pages sharing a bank and sub-array are spaced every 128KB
+// (32 pages).
+func TestSameSubarrayStride(t *testing.T) {
+	base := int64(0x1234000) &^ (PageSize - 1)
+	if !SameSubarray(base, base+SameSubarrayPageStride) {
+		t.Fatal("pages 128KB apart should share a sub-array")
+	}
+	if !SameSubarray(base, base+5*SameSubarrayPageStride) {
+		t.Fatal("pages k*128KB apart (within the row field) should share a sub-array")
+	}
+	// Adjacent pages fall in the same 8KB row only when they are the two
+	// halves of one row; otherwise they differ in bank.
+	for k := int64(1); k < 32; k++ {
+		a, b := base, base+k*PageSize
+		if k%2 == 1 && (b/PageSize)%2 == 1 {
+			continue // other half of the same row: same sub-array by design
+		}
+		if SameSubarray(a, b) && k != 0 {
+			// Pages less than 128KB apart (excluding the half-row pair)
+			// must not share a (bank, sub-array).
+			la, lb := DecodeRank(a), DecodeRank(b)
+			if la.Bank == lb.Bank && la.Subarray == lb.Subarray && la.Row == lb.Row {
+				continue
+			}
+			t.Fatalf("pages %d pages apart unexpectedly share a sub-array", k)
+		}
+	}
+}
+
+func TestSameSubarrayHalfRowPair(t *testing.T) {
+	// A 4KB page is half of an 8KB row, so page 2n and 2n+1 share the row
+	// and therefore the sub-array.
+	if !SameSubarray(0, PageSize) {
+		t.Fatal("the two halves of one row should share a sub-array")
+	}
+}
+
+func TestSubarrayKeyDense(t *testing.T) {
+	seen := make(map[SubarrayKey]bool)
+	// Walk one page per (bank, sub-array) pair in rank 0.
+	for bank := 0; bank < BanksPerRank; bank++ {
+		for sub := 0; sub < SubarraysPerBank; sub++ {
+			addr := EncodeRank(Location{Bank: bank, Subarray: sub})
+			k := SubarrayOf(addr)
+			if k < 0 || int(k) >= SubarraysPerRank {
+				t.Fatalf("key %d out of range", k)
+			}
+			if seen[k] {
+				t.Fatalf("duplicate key %d for bank %d sub %d", k, bank, sub)
+			}
+			seen[k] = true
+		}
+	}
+	if len(seen) != SubarraysPerRank {
+		t.Fatalf("got %d distinct keys, want %d", len(seen), SubarraysPerRank)
+	}
+	// Rank 1 keys must not collide with rank 0 keys.
+	k1 := SubarrayOf(EncodeRank(Location{Rank: 1}))
+	if seen[k1] {
+		t.Fatal("rank 1 key collides with rank 0")
+	}
+}
+
+func TestSameRank(t *testing.T) {
+	if !SameRank(0, RankBytes-1) {
+		t.Fatal("addresses within rank 0 should be same rank")
+	}
+	if SameRank(0, RankBytes) {
+		t.Fatal("rank 0 and rank 1 addresses should differ")
+	}
+}
+
+func TestGlobalRowUnique(t *testing.T) {
+	seen := make(map[int]bool)
+	for bank := 0; bank < BanksPerRank; bank += 5 {
+		for sub := 0; sub < SubarraysPerBank; sub += 37 {
+			for row := 0; row < RowsPerSubarray; row += 11 {
+				l := Location{Bank: bank, Subarray: sub, Row: row}
+				gr := l.GlobalRow()
+				if seen[gr] {
+					t.Fatalf("GlobalRow collision at %v", l)
+				}
+				seen[gr] = true
+			}
+		}
+	}
+}
+
+func mustMap(t *testing.T) *SystemMap {
+	t.Helper()
+	m, err := NewSystemMap(2, 16<<30, 256, NetDIMMSpec{Channel: 1, Size: 16 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSystemMapLayout(t *testing.T) {
+	m := mustMap(t)
+	if m.TotalBytes() != 32<<30 {
+		t.Fatalf("TotalBytes = %d", m.TotalBytes())
+	}
+	nd, err := m.NetDIMMRegion(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Base != 16<<30 || nd.Channel != 1 || nd.Index != 0 {
+		t.Fatalf("NetDIMM region = %+v", nd)
+	}
+	if _, err := m.NetDIMMRegion(1); err == nil {
+		t.Fatal("expected error for missing NetDIMM 1")
+	}
+}
+
+func TestSystemMapErrors(t *testing.T) {
+	if _, err := NewSystemMap(0, 1<<30, 256); err == nil {
+		t.Error("zero channels accepted")
+	}
+	if _, err := NewSystemMap(2, 1<<30, 100); err == nil {
+		t.Error("non-cacheline granule accepted")
+	}
+	if _, err := NewSystemMap(2, 1000, 256); err == nil {
+		t.Error("ddrBytes not multiple of granule*channels accepted")
+	}
+	if _, err := NewSystemMap(2, 1<<30, 256, NetDIMMSpec{Channel: 5, Size: 1 << 30}); err == nil {
+		t.Error("NetDIMM on invalid channel accepted")
+	}
+	if _, err := NewSystemMap(2, 1<<30, 256, NetDIMMSpec{Channel: 0, Size: 100}); err == nil {
+		t.Error("non-page NetDIMM size accepted")
+	}
+	m := mustMap(t)
+	if _, err := m.Decode(-1); err == nil {
+		t.Error("negative address decoded")
+	}
+	if _, err := m.Decode(m.TotalBytes()); err == nil {
+		t.Error("address beyond space decoded")
+	}
+}
+
+// Multi-channel mode: sequential DDR addresses interleave between channels
+// at granule boundaries (paper Sec. 2.3).
+func TestDDRInterleaving(t *testing.T) {
+	m := mustMap(t)
+	t0, err := m.Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := m.Decode(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := m.Decode(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t0.Channel != 0 || t1.Channel != 1 || t2.Channel != 0 {
+		t.Fatalf("channels = %d,%d,%d; want 0,1,0", t0.Channel, t1.Channel, t2.Channel)
+	}
+	if t2.Local != 256 {
+		t.Fatalf("third granule local = %d, want 256", t2.Local)
+	}
+}
+
+// Single-channel mode: the NetDIMM region is contiguous on one channel
+// (paper Sec. 4.2.1: "the host processor sees the NetDIMM physical address
+// as a continuous memory chunk").
+func TestNetDIMMSingleChannel(t *testing.T) {
+	m := mustMap(t)
+	base := int64(16 << 30)
+	for off := int64(0); off < 1<<20; off += 64 << 10 {
+		tg, err := m.Decode(base + off)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tg.Channel != 1 {
+			t.Fatalf("NetDIMM address on channel %d, want 1", tg.Channel)
+		}
+		if tg.Local != off {
+			t.Fatalf("local = %d, want %d (contiguous)", tg.Local, off)
+		}
+		if tg.Region.Kind != RegionNetDIMM {
+			t.Fatalf("kind = %v", tg.Region.Kind)
+		}
+	}
+}
+
+// Property: decode/encode round-trips for both regions and every address
+// maps to exactly one region.
+func TestSystemMapRoundTripProperty(t *testing.T) {
+	m := mustMap(t)
+	f := func(raw uint64) bool {
+		phys := int64(raw % uint64(m.TotalBytes()))
+		tg, err := m.Decode(phys)
+		if err != nil {
+			return false
+		}
+		var back int64
+		if tg.Region.Kind == RegionDDR {
+			back, err = m.EncodeDDR(tg.Channel, tg.Local)
+		} else {
+			back, err = m.EncodeNetDIMM(tg.Region.Index, tg.Local)
+		}
+		return err == nil && back == phys
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	m := mustMap(t)
+	if _, err := m.EncodeDDR(9, 0); err == nil {
+		t.Error("invalid channel accepted")
+	}
+	if _, err := m.EncodeDDR(0, 16<<30); err == nil {
+		t.Error("beyond-region channel-local accepted")
+	}
+	if _, err := m.EncodeNetDIMM(0, 16<<30); err == nil {
+		t.Error("beyond-region NetDIMM-local accepted")
+	}
+	if _, err := m.EncodeNetDIMM(3, 0); err == nil {
+		t.Error("missing NetDIMM accepted")
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	m := mustMap(t)
+	r, err := m.RegionOf(0)
+	if err != nil || r.Kind != RegionDDR {
+		t.Fatalf("RegionOf(0) = %v, %v", r, err)
+	}
+	r, err = m.RegionOf(16 << 30)
+	if err != nil || r.Kind != RegionNetDIMM {
+		t.Fatalf("RegionOf(16GB) = %v, %v", r, err)
+	}
+}
+
+func TestMultipleNetDIMMs(t *testing.T) {
+	m, err := NewSystemMap(2, 8<<30, 256,
+		NetDIMMSpec{Channel: 0, Size: 16 << 30},
+		NetDIMMSpec{Channel: 1, Size: 16 << 30},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := m.NetDIMMRegions()
+	if len(regions) != 2 {
+		t.Fatalf("got %d NetDIMM regions", len(regions))
+	}
+	if regions[0].Index != 0 || regions[1].Index != 1 {
+		t.Fatal("NET_i indices out of order")
+	}
+	if regions[1].Base != regions[0].Base+regions[0].Size {
+		t.Fatal("NetDIMM regions not adjacent")
+	}
+}

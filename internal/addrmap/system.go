@@ -1,0 +1,197 @@
+package addrmap
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RegionKind distinguishes the two halves of the flex-mode address space
+// (paper Fig. 10): conventional DDR DIMMs interleaved across channels, and
+// per-NetDIMM single-channel regions.
+type RegionKind int
+
+const (
+	// RegionDDR is the conventional-DIMM part of the address space,
+	// interleaved across all memory channels (multi-channel mode).
+	RegionDDR RegionKind = iota
+	// RegionNetDIMM is a NetDIMM's local memory, exposed as a contiguous
+	// single-channel chunk so the nNIC sees its own DRAM linearly.
+	RegionNetDIMM
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionDDR:
+		return "ddr"
+	case RegionNetDIMM:
+		return "netdimm"
+	default:
+		return fmt.Sprintf("RegionKind(%d)", int(k))
+	}
+}
+
+// Region is one contiguous piece of the flex-mode physical address space.
+type Region struct {
+	Kind    RegionKind
+	Base    int64 // first physical address of the region
+	Size    int64
+	Channel int // for RegionNetDIMM: the channel the NetDIMM sits on
+	Index   int // for RegionNetDIMM: the NetDIMM number i of zone NET_i
+}
+
+// Contains reports whether phys falls inside the region.
+func (r Region) Contains(phys int64) bool { return phys >= r.Base && phys < r.Base+r.Size }
+
+// Target is the result of a system-level decode: which channel the request
+// must be issued on, which region it belongs to, and the address local to
+// the device behind that channel slot.
+type Target struct {
+	Region  Region
+	Channel int
+	// Local is the device-local address: DIMM-local for a NetDIMM region,
+	// channel-local for the DDR region.
+	Local int64
+}
+
+// SystemMap is the machine's physical address map: a DDR region interleaved
+// over Channels at Granule bytes, followed by one single-channel region per
+// NetDIMM (flex mode, paper Fig. 10).
+//
+// The zero SystemMap is not usable; construct with NewSystemMap.
+type SystemMap struct {
+	channels int
+	granule  int64
+	regions  []Region // sorted by Base; regions[0] is the DDR region
+}
+
+// NetDIMMSpec describes one NetDIMM to place in the address map.
+type NetDIMMSpec struct {
+	Channel int   // host channel the NetDIMM occupies
+	Size    int64 // local DRAM capacity, e.g. 16GB
+}
+
+// NewSystemMap builds a flex-mode map with ddrBytes of conventional memory
+// interleaved across channels at granule bytes, then each NetDIMM's local
+// memory appended as a single-channel region in argument order (NET_0,
+// NET_1, ...).
+func NewSystemMap(channels int, ddrBytes, granule int64, netdimms ...NetDIMMSpec) (*SystemMap, error) {
+	if channels <= 0 {
+		return nil, fmt.Errorf("addrmap: channels must be positive, got %d", channels)
+	}
+	if granule <= 0 || granule%CachelineSize != 0 {
+		return nil, fmt.Errorf("addrmap: granule must be a positive multiple of %dB, got %d", CachelineSize, granule)
+	}
+	if ddrBytes <= 0 || ddrBytes%(granule*int64(channels)) != 0 {
+		return nil, fmt.Errorf("addrmap: ddrBytes %d must be a positive multiple of granule*channels (%d)", ddrBytes, granule*int64(channels))
+	}
+	m := &SystemMap{
+		channels: channels,
+		granule:  granule,
+		regions:  []Region{{Kind: RegionDDR, Base: 0, Size: ddrBytes}},
+	}
+	base := ddrBytes
+	for i, nd := range netdimms {
+		if nd.Channel < 0 || nd.Channel >= channels {
+			return nil, fmt.Errorf("addrmap: NetDIMM %d on invalid channel %d (have %d channels)", i, nd.Channel, channels)
+		}
+		if nd.Size <= 0 || nd.Size%PageSize != 0 {
+			return nil, fmt.Errorf("addrmap: NetDIMM %d size %d must be a positive multiple of the page size", i, nd.Size)
+		}
+		m.regions = append(m.regions, Region{
+			Kind:    RegionNetDIMM,
+			Base:    base,
+			Size:    nd.Size,
+			Channel: nd.Channel,
+			Index:   i,
+		})
+		base += nd.Size
+	}
+	return m, nil
+}
+
+// Channels returns the number of host memory channels.
+func (m *SystemMap) Channels() int { return m.channels }
+
+// TotalBytes returns the size of the mapped physical address space.
+func (m *SystemMap) TotalBytes() int64 {
+	last := m.regions[len(m.regions)-1]
+	return last.Base + last.Size
+}
+
+// DDRRegion returns the conventional multi-channel region.
+func (m *SystemMap) DDRRegion() Region { return m.regions[0] }
+
+// NetDIMMRegions returns the NetDIMM regions in NET_i order.
+func (m *SystemMap) NetDIMMRegions() []Region {
+	out := make([]Region, 0, len(m.regions)-1)
+	for _, r := range m.regions[1:] {
+		out = append(out, r)
+	}
+	return out
+}
+
+// NetDIMMRegion returns the region of NetDIMM i.
+func (m *SystemMap) NetDIMMRegion(i int) (Region, error) {
+	idx := 1 + i
+	if i < 0 || idx >= len(m.regions) {
+		return Region{}, fmt.Errorf("addrmap: no NetDIMM %d", i)
+	}
+	return m.regions[idx], nil
+}
+
+// Decode maps a physical address to its channel, region and device-local
+// address. DDR addresses interleave across channels at the granule
+// (multi-channel mode); NetDIMM addresses map to a single channel with a
+// contiguous local address (single-channel mode).
+func (m *SystemMap) Decode(phys int64) (Target, error) {
+	if phys < 0 || phys >= m.TotalBytes() {
+		return Target{}, fmt.Errorf("addrmap: physical address %#x outside mapped space [0, %#x)", phys, m.TotalBytes())
+	}
+	i := sort.Search(len(m.regions), func(i int) bool {
+		return m.regions[i].Base+m.regions[i].Size > phys
+	})
+	r := m.regions[i]
+	off := phys - r.Base
+	if r.Kind == RegionNetDIMM {
+		return Target{Region: r, Channel: r.Channel, Local: off}, nil
+	}
+	granuleIdx := off / m.granule
+	channel := int(granuleIdx % int64(m.channels))
+	local := (granuleIdx/int64(m.channels))*m.granule + off%m.granule
+	return Target{Region: r, Channel: channel, Local: local}, nil
+}
+
+// EncodeDDR is the inverse of Decode for the DDR region: it returns the
+// physical address of channel-local address local on the given channel.
+func (m *SystemMap) EncodeDDR(channel int, local int64) (int64, error) {
+	if channel < 0 || channel >= m.channels {
+		return 0, fmt.Errorf("addrmap: invalid channel %d", channel)
+	}
+	granuleIdx := (local/m.granule)*int64(m.channels) + int64(channel)
+	phys := granuleIdx*m.granule + local%m.granule
+	if phys >= m.regions[0].Size {
+		return 0, fmt.Errorf("addrmap: channel-local address %#x beyond DDR region", local)
+	}
+	return phys, nil
+}
+
+// EncodeNetDIMM is the inverse of Decode for NetDIMM i.
+func (m *SystemMap) EncodeNetDIMM(i int, local int64) (int64, error) {
+	r, err := m.NetDIMMRegion(i)
+	if err != nil {
+		return 0, err
+	}
+	if local < 0 || local >= r.Size {
+		return 0, fmt.Errorf("addrmap: NetDIMM-local address %#x beyond region of size %#x", local, r.Size)
+	}
+	return r.Base + local, nil
+}
+
+// RegionOf returns the region containing phys.
+func (m *SystemMap) RegionOf(phys int64) (Region, error) {
+	t, err := m.Decode(phys)
+	if err != nil {
+		return Region{}, err
+	}
+	return t.Region, nil
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+
+	"netdimm/internal/addrmap"
+	"netdimm/internal/dram"
+	"netdimm/internal/membank"
+	"netdimm/internal/memctrl"
+	"netdimm/internal/nic"
+	"netdimm/internal/nvdimmp"
+	"netdimm/internal/sim"
+)
+
+// Config parameterises a NetDIMM buffer device.
+type Config struct {
+	// Ranks of local DRAM (16GB NetDIMM = two 8GB ranks, Fig. 9a).
+	Ranks int
+	// LocalTiming is the DRAM timing of the local modules; the local
+	// channel is what the nMC drives.
+	LocalTiming dram.Timing
+	// MC configures the nMC.
+	MC memctrl.Config
+	// NCacheLines / NCacheWays give the SRAM buffer geometry.
+	NCacheLines int
+	NCacheWays  int
+	// PrefetchDegree is the nPrefetcher's next-line depth n.
+	PrefetchDegree int
+	// Clone parameterises the RowClone engine.
+	Clone dram.CloneTiming
+	// Protocol is the NVDIMM-P asynchronous channel timing.
+	Protocol nvdimmp.Timing
+	// SRAMLatency is the nCache access time (hit service).
+	SRAMLatency sim.Time
+	// Seed drives the random-replacement stream.
+	Seed uint64
+}
+
+// DefaultConfig returns a 16GB NetDIMM with a 32KB nCache and a
+// four-line-deep next-line prefetcher.
+func DefaultConfig() Config {
+	return Config{
+		Ranks:          2,
+		LocalTiming:    dram.DDR4_2400(),
+		MC:             memctrl.DefaultConfig(),
+		NCacheLines:    512,
+		NCacheWays:     8,
+		PrefetchDegree: 4,
+		Clone:          dram.DefaultCloneTiming(),
+		Protocol:       nvdimmp.DefaultTiming(),
+		SRAMLatency:    5 * sim.Nanosecond,
+		Seed:           1,
+	}
+}
+
+// Stats aggregates device-level counters.
+type Stats struct {
+	HostReads, HostWrites uint64
+	NNICReads, NNICWrites uint64
+	Prefetches            uint64
+	Clones                map[dram.CloneMode]uint64
+}
+
+// Device is one NetDIMM buffer device plus its local DRAM: the nController
+// logic, nCache, nPrefetcher, nMC and clone engine of Fig. 6a. Addresses
+// are DIMM-local (the system map's NetDIMM region offset).
+type Device struct {
+	cfg    Config
+	eng    *sim.Engine
+	nmc    *memctrl.Controller
+	ranks  *memctrl.RankSet
+	ncache *NCache
+	clones *dram.CloneEngine
+	bus    nic.MemChannelBus
+	// mem is the functional data plane: the bytes in local DRAM. Timing
+	// and data are updated together, so the simulated machine's contents
+	// are always consistent with its event history.
+	mem     *membank.Store
+	regfile *RegisterFile
+	stats   Stats
+}
+
+// NewDevice builds a NetDIMM device on the engine.
+func NewDevice(eng *sim.Engine, cfg Config) *Device {
+	if cfg.Ranks <= 0 {
+		panic("core: NetDIMM needs at least one rank")
+	}
+	ranks := memctrl.NewRankSet(cfg.LocalTiming, cfg.Ranks)
+	d := &Device{
+		cfg:    cfg,
+		eng:    eng,
+		ranks:  ranks,
+		nmc:    memctrl.New(eng, cfg.MC, ranks),
+		ncache: NewNCache(cfg.NCacheLines, cfg.NCacheWays, cfg.Seed),
+		clones: dram.NewCloneEngine(cfg.Clone, cfg.LocalTiming, ranks.Ranks),
+		bus:    nic.MemChannelBus{Protocol: cfg.Protocol, Media: 15 * sim.Nanosecond},
+		mem:    membank.New(),
+		stats:  Stats{Clones: make(map[dram.CloneMode]uint64)},
+	}
+	return d
+}
+
+// Size returns the local DRAM capacity in bytes.
+func (d *Device) Size() int64 { return int64(d.cfg.Ranks) * addrmap.RankBytes }
+
+// NCache exposes the SRAM buffer (for tests and experiments).
+func (d *Device) NCache() *NCache { return d.ncache }
+
+// NMC exposes the local memory controller (for interference experiments).
+func (d *Device) NMC() *memctrl.Controller { return d.nmc }
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() Stats {
+	s := d.stats
+	s.Clones = make(map[dram.CloneMode]uint64, len(d.stats.Clones))
+	for k, v := range d.stats.Clones {
+		s.Clones[k] = v
+	}
+	return s
+}
+
+// RegisterBus returns the host's register attachment: a memory-channel
+// access via the asynchronous protocol.
+func (d *Device) RegisterBus() nic.RegisterBus { return d.bus }
+
+// ReceivePacket models the nNIC delivering a received frame: the
+// nController depletes the nNIC RX buffer into the descriptor's DMA buffer
+// in local DRAM (one write per cacheline through the nMC, which gives nNIC
+// traffic priority by construction: it enqueues ahead of host reads in
+// submission order) and writes the first cacheline — the packet header —
+// into nCache (paper Sec. 4.1). done fires when the last write retires.
+func (d *Device) ReceivePacket(bufAddr int64, size int, done func()) error {
+	return d.ReceivePacketData(bufAddr, size, nil, done)
+}
+
+// ReceivePacketData is ReceivePacket with the frame's bytes: the data
+// lands in the functional store at the DMA buffer address as the timing
+// path retires.
+func (d *Device) ReceivePacketData(bufAddr int64, size int, data []byte, done func()) error {
+	if size <= 0 {
+		return fmt.Errorf("core: ReceivePacket size %d", size)
+	}
+	if data != nil {
+		if len(data) > size {
+			data = data[:size]
+		}
+		if err := d.mem.Write(bufAddr, data); err != nil {
+			return err
+		}
+	}
+	lines := (int64(size) + addrmap.CachelineSize - 1) / addrmap.CachelineSize
+	var lastErr error
+	remaining := int(lines)
+	for i := int64(0); i < lines; i++ {
+		addr := bufAddr + i*addrmap.CachelineSize
+		d.ncache.Invalidate(addr) // snoop: stale copies must die
+		d.stats.NNICWrites++
+		err := d.nmc.Submit(&memctrl.Request{
+			Addr:  addr,
+			Write: true,
+			Bytes: addrmap.CachelineSize,
+			Done: func(memctrl.Response) {
+				remaining--
+				if remaining == 0 && done != nil {
+					done()
+				}
+			},
+		})
+		if err != nil {
+			lastErr = err
+			remaining--
+		}
+	}
+	// Cache the header line: "the nController writes the first cacheline
+	// of each received packet to nCache".
+	d.ncache.Insert(bufAddr, true, false)
+	d.Registers().noteRX()
+	return lastErr
+}
+
+// TransmitFetch models the nController reading a TX packet out of local
+// DRAM into the nNIC TX buffer. done fires when the data is staged.
+func (d *Device) TransmitFetch(bufAddr int64, size int, done func()) error {
+	if size <= 0 {
+		return fmt.Errorf("core: TransmitFetch size %d", size)
+	}
+	lines := (int64(size) + addrmap.CachelineSize - 1) / addrmap.CachelineSize
+	remaining := int(lines)
+	var lastErr error
+	for i := int64(0); i < lines; i++ {
+		d.stats.NNICReads++
+		err := d.nmc.Submit(&memctrl.Request{
+			Addr:  bufAddr + i*addrmap.CachelineSize,
+			Bytes: addrmap.CachelineSize,
+			Done: func(memctrl.Response) {
+				remaining--
+				if remaining == 0 && done != nil {
+					done()
+				}
+			},
+		})
+		if err != nil {
+			lastErr = err
+			remaining--
+		}
+	}
+	return lastErr
+}
+
+// HostReadLine serves one cacheline read arriving from the global memory
+// channel (the PHY path of Fig. 6a): nCache hit → data returns after the
+// protocol handshake plus SRAM access; miss → the request goes to the nMC
+// and returns asynchronously. Non-header accesses arm the nPrefetcher.
+// done receives whether the read hit nCache and the total latency.
+func (d *Device) HostReadLine(addr int64, done func(hit bool, latency sim.Time)) {
+	d.stats.HostReads++
+	start := d.eng.Now()
+	hit, wasHeader := d.ncache.Read(addr)
+	if hit {
+		lat := d.cfg.Protocol.ReadLatency(d.cfg.SRAMLatency)
+		if !wasHeader {
+			d.prefetch(addr)
+		}
+		if done != nil {
+			d.eng.Schedule(lat, func() { done(true, lat) })
+		}
+		return
+	}
+	// Miss: fetch from local DRAM through the nMC, then complete over the
+	// asynchronous protocol. A missing line cannot carry the header flag,
+	// so the prefetcher runs (paper: the flag only inhibits prefetch for
+	// header lines resident in nCache).
+	d.prefetch(addr)
+	err := d.nmc.Submit(&memctrl.Request{
+		Addr:  addr,
+		Bytes: addrmap.CachelineSize,
+		Done: func(r memctrl.Response) {
+			lat := r.Completed - start + d.cfg.Protocol.ReadOverhead()
+			if done != nil {
+				d.eng.Schedule(d.cfg.Protocol.ReadOverhead(), func() { done(false, lat) })
+			}
+		},
+	})
+	if err != nil {
+		// Queue full: model back-pressure as a retry after one burst slot.
+		d.eng.Schedule(d.cfg.LocalTiming.TBL, func() { d.HostReadLine(addr, done) })
+		d.stats.HostReads--
+	}
+}
+
+// HostWriteLine serves one cacheline write from the global channel: writes
+// bypass nCache (they queue directly in the nMC write queue) but snoop it
+// for coherency (paper Sec. 4.1). The returned latency is the posted-write
+// protocol overhead; done, if non-nil, fires when the write retires in
+// DRAM.
+func (d *Device) HostWriteLine(addr int64, done func()) sim.Time {
+	d.stats.HostWrites++
+	d.ncache.Invalidate(addr)
+	err := d.nmc.Submit(&memctrl.Request{
+		Addr:  addr,
+		Write: true,
+		Bytes: addrmap.CachelineSize,
+		Done: func(memctrl.Response) {
+			if done != nil {
+				done()
+			}
+		},
+	})
+	if err != nil {
+		d.eng.Schedule(d.cfg.LocalTiming.TBL, func() { d.HostWriteLine(addr, done) })
+		d.stats.HostWrites--
+	}
+	return d.cfg.Protocol.WriteOverhead()
+}
+
+// prefetch arms the nPrefetcher: the next PrefetchDegree cachelines are
+// read from local DRAM into nCache (skipping lines already present).
+func (d *Device) prefetch(addr int64) {
+	for i := 1; i <= d.cfg.PrefetchDegree; i++ {
+		target := addr + int64(i)*addrmap.CachelineSize
+		if target >= d.Size() || d.ncache.Contains(target) {
+			continue
+		}
+		d.stats.Prefetches++
+		err := d.nmc.Submit(&memctrl.Request{
+			Addr:  target,
+			Bytes: addrmap.CachelineSize,
+			Done: func(memctrl.Response) {
+				d.ncache.Insert(target, false, true)
+				d.ncache.notePrefetchFill()
+			},
+		})
+		if err != nil {
+			d.stats.Prefetches-- // dropped under pressure; prefetch is best effort
+		}
+	}
+}
+
+// Clone performs netdimmClone(dst, src, size): in-memory buffer cloning
+// with automatic FPM/PSM/GCM mode selection (paper Sec. 4.1, Alg. 1 line
+// 14). done receives the selected mode. The engine write-snoops nCache for
+// the destination range.
+func (d *Device) Clone(dst, src int64, size int, done func(dram.CloneMode)) sim.Time {
+	lines := (int64(size) + addrmap.CachelineSize - 1) / addrmap.CachelineSize
+	for i := int64(0); i < lines; i++ {
+		d.ncache.Invalidate(dst + i*addrmap.CachelineSize)
+	}
+	d.mem.Clone(dst, src, size)
+	finish, mode := d.clones.Clone(d.eng.Now(), src, dst, int64(size))
+	d.stats.Clones[mode]++
+	lat := finish - d.eng.Now()
+	if done != nil {
+		d.eng.At(finish, func() { done(mode) })
+	}
+	return lat
+}
+
+// CloneLatency predicts the cost of a clone without running it.
+func (d *Device) CloneLatency(dst, src int64, size int) sim.Time {
+	return d.clones.Latency(src, dst, int64(size))
+}
+
+// ReadData returns the bytes at a DIMM-local address from the functional
+// store (no timing side effects; the timing path is HostReadLine).
+func (d *Device) ReadData(addr int64, n int) ([]byte, error) {
+	return d.mem.Read(addr, n)
+}
+
+// WriteData stores bytes at a DIMM-local address (the functional effect of
+// host writes; the timing path is HostWriteLine).
+func (d *Device) WriteData(addr int64, data []byte) error {
+	return d.mem.Write(addr, data)
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"netdimm/internal/sim"
+)
+
+func TestDataPlaneWriteRead(t *testing.T) {
+	_, d := newDevice(t)
+	if err := d.WriteData(0x5000, []byte("device data plane")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadData(0x5000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "device data plane" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReceivePacketDataStoresBytes(t *testing.T) {
+	eng, d := newDevice(t)
+	payload := bytes.Repeat([]byte{0x5A}, 300)
+	if err := d.ReceivePacketData(0x7000, 300, payload, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	got, _ := d.ReadData(0x7000, 300)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("DMA data corrupted")
+	}
+}
+
+func TestReceivePacketDataClips(t *testing.T) {
+	eng, d := newDevice(t)
+	long := bytes.Repeat([]byte{1}, 200)
+	if err := d.ReceivePacketData(0x8000, 100, long, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	got, _ := d.ReadData(0x8000, 101)
+	if got[100] != 0 {
+		t.Fatal("data written beyond the frame size")
+	}
+}
+
+func TestPrefetchStopsAtDeviceEnd(t *testing.T) {
+	eng, d := newDevice(t)
+	// Read near the very end of the local address space: the prefetcher
+	// must not issue beyond Size().
+	last := d.Size() - 64
+	before := d.Stats().Prefetches
+	d.HostReadLine(last, nil)
+	eng.Run()
+	if d.Stats().Prefetches != before {
+		t.Fatalf("prefetcher ran past the device end: %d fetches", d.Stats().Prefetches-before)
+	}
+}
+
+func TestPrefetchSkipsResidentLines(t *testing.T) {
+	eng, d := newDevice(t)
+	d.ReceivePacket(0x9000, 1514, nil)
+	eng.Run()
+	// First payload read prefetches lines 2..5; an immediate second read
+	// of line 2 (a hit) re-arms the prefetcher, which must skip lines
+	// already resident.
+	d.HostReadLine(0x9000+64, nil)
+	eng.Run()
+	p1 := d.Stats().Prefetches
+	d.HostReadLine(0x9000+128, nil)
+	eng.Run()
+	p2 := d.Stats().Prefetches
+	if p2-p1 > uint64(d.cfg.PrefetchDegree) {
+		t.Fatalf("prefetcher re-fetched resident lines: %d new", p2-p1)
+	}
+}
+
+func TestHostReadsUnderNNICTraffic(t *testing.T) {
+	eng, d := newDevice(t)
+	// Saturate the nMC with nNIC receive traffic, then issue a host read:
+	// it must still complete (arbitration does not starve the PHY path).
+	for i := 0; i < 16; i++ {
+		d.ReceivePacket(int64(i)*2048, 1514, nil)
+	}
+	completed := false
+	var lat sim.Time
+	d.HostReadLine(1<<20, func(hit bool, l sim.Time) { completed = true; lat = l })
+	eng.Run()
+	if !completed {
+		t.Fatal("host read starved by nNIC traffic")
+	}
+	if lat <= 0 {
+		t.Fatal("missing latency")
+	}
+}
+
+func TestCloneDataPlane(t *testing.T) {
+	eng, d := newDevice(t)
+	d.WriteData(0, []byte("clone me through registers or calls"))
+	d.Clone(1<<20, 0, 35, nil)
+	eng.Run()
+	got, _ := d.ReadData(1<<20, 35)
+	if string(got) != "clone me through registers or calls" {
+		t.Fatalf("clone data = %q", got)
+	}
+}

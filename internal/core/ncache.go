@@ -1,0 +1,172 @@
+// Package core implements the NetDIMM buffer device — the paper's primary
+// contribution (Sec. 4.1, Fig. 6a): the nController that arbitrates
+// between the nNIC and the DDR5 PHY, the nCache consume-on-read SRAM
+// buffer, the next-line nPrefetcher, the nMC local memory controller
+// binding, and the in-memory buffer-cloning engine, all exposed to the
+// host over the NVDIMM-P asynchronous protocol.
+package core
+
+import (
+	"fmt"
+
+	"netdimm/internal/addrmap"
+	"netdimm/internal/sim"
+)
+
+// NCacheStats counts nCache events.
+type NCacheStats struct {
+	Hits, Misses   uint64
+	HeaderHits     uint64
+	Inserts        uint64
+	Replacements   uint64 // random-replacement victims
+	Consumed       uint64 // lines removed by consume-on-read
+	Invalidations  uint64 // snooped writes that matched
+	PrefetchFills  uint64
+	PrefetchUseful uint64 // prefetched lines later hit
+}
+
+type nline struct {
+	tag      int64
+	valid    bool
+	header   bool // set for the first cacheline of a newly arrived packet
+	prefetch bool // filled by the nPrefetcher
+}
+
+// NCache is the dual-port SRAM buffer of the NetDIMM buffer device. It is
+// an inclusive set-associative structure, but behaves as a streaming
+// buffer: a read hit removes the line (the RX data moves on to the host
+// and "is unlikely to be accessed in a near future"), all lines are clean,
+// and replacement is random (paper Sec. 4.1).
+type NCache struct {
+	ways  int
+	sets  [][]nline
+	setsN int64
+	rng   *sim.Rand
+	stats NCacheStats
+}
+
+// NewNCache builds an nCache with the given total line count and
+// associativity. Replacement randomness is seeded deterministically.
+func NewNCache(lines, ways int, seed uint64) *NCache {
+	if lines <= 0 || ways <= 0 || lines%ways != 0 {
+		panic(fmt.Sprintf("core: bad nCache geometry lines=%d ways=%d", lines, ways))
+	}
+	setsN := lines / ways
+	sets := make([][]nline, setsN)
+	for i := range sets {
+		sets[i] = make([]nline, ways)
+	}
+	return &NCache{ways: ways, sets: sets, setsN: int64(setsN), rng: sim.NewRand(seed)}
+}
+
+// Stats returns a copy of the statistics.
+func (c *NCache) Stats() NCacheStats { return c.stats }
+
+// Lines returns the capacity in cachelines.
+func (c *NCache) Lines() int { return int(c.setsN) * c.ways }
+
+// Occupancy returns the number of valid lines.
+func (c *NCache) Occupancy() int {
+	n := 0
+	for _, s := range c.sets {
+		for i := range s {
+			if s[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (c *NCache) locate(addr int64) ([]nline, int64) {
+	li := addr / addrmap.CachelineSize
+	// XOR-folded set index: RX ring slots sit at power-of-two strides, so
+	// a plain modulo would alias every packet header into the same one or
+	// two sets. Folding the tag bits in spreads strided streams.
+	set := (li ^ (li / c.setsN)) % c.setsN
+	return c.sets[set], li / c.setsN
+}
+
+// Insert stores one cacheline. header marks the first cacheline of a newly
+// arrived packet (prefetch-inhibit flag); prefetched marks nPrefetcher
+// fills. If the set is full a random victim is replaced; all lines are
+// clean so no writeback occurs.
+func (c *NCache) Insert(addr int64, header, prefetched bool) {
+	set, tag := c.locate(addr)
+	// Refresh in place if present.
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].header = header
+			set[i].prefetch = prefetched
+			c.stats.Inserts++
+			return
+		}
+	}
+	v := -1
+	for i := range set {
+		if !set[i].valid {
+			v = i
+			break
+		}
+	}
+	if v < 0 {
+		v = c.rng.Intn(c.ways)
+		c.stats.Replacements++
+	}
+	set[v] = nline{tag: tag, valid: true, header: header, prefetch: prefetched}
+	c.stats.Inserts++
+}
+
+// Read probes the cache for one cacheline. On a hit the line is consumed
+// (removed). wasHeader reports the line's header flag — the nPrefetcher
+// must not prefetch after a header access (paper: "We disable nPrefetcher
+// for the first cacheline of RX packets").
+func (c *NCache) Read(addr int64) (hit, wasHeader bool) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stats.Hits++
+			if set[i].header {
+				c.stats.HeaderHits++
+			}
+			if set[i].prefetch {
+				c.stats.PrefetchUseful++
+			}
+			wasHeader = set[i].header
+			set[i].valid = false // consume-on-read
+			c.stats.Consumed++
+			return true, wasHeader
+		}
+	}
+	c.stats.Misses++
+	return false, false
+}
+
+// Contains probes without consuming (for tests and the prefetcher's
+// duplicate-fill suppression).
+func (c *NCache) Contains(addr int64) bool {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line if present — the nController snoops write
+// addresses from the PHY and nNIC to keep nCache coherent with local DRAM
+// (paper Sec. 4.1).
+func (c *NCache) Invalidate(addr int64) {
+	set, tag := c.locate(addr)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+			c.stats.Invalidations++
+			return
+		}
+	}
+}
+
+// notePrefetchFill is the statistics hook used by the device.
+func (c *NCache) notePrefetchFill() { c.stats.PrefetchFills++ }

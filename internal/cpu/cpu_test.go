@@ -1,0 +1,120 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netdimm/internal/sim"
+)
+
+func TestCycle(t *testing.T) {
+	p := TableOne()
+	// 3.4GHz -> ~294ps.
+	if c := p.Cycle(); c < 290 || c > 298 {
+		t.Fatalf("Cycle = %v", c)
+	}
+}
+
+func TestEstimateBounds(t *testing.T) {
+	p := TableOne()
+	// A fully parallel block is issue-bound.
+	par := Block{Instrs: 300, DepFrac: 0}
+	want := sim.Time(100) * p.Cycle()
+	if got := p.Estimate(par); got != want {
+		t.Fatalf("issue-bound = %v, want %v", got, want)
+	}
+	// A fully serial block is dependency-bound.
+	ser := Block{Instrs: 300, DepFrac: 1}
+	if got := p.Estimate(ser); got != sim.Time(300)*p.Cycle() {
+		t.Fatalf("dep-bound = %v", got)
+	}
+}
+
+func TestEstimateMissStalls(t *testing.T) {
+	p := TableOne()
+	base := p.Estimate(Block{Instrs: 100, DepFrac: 0.3})
+	withL1 := p.Estimate(Block{Instrs: 100, DepFrac: 0.3, L1DMisses: 2})
+	withL2 := p.Estimate(Block{Instrs: 100, DepFrac: 0.3, L2Misses: 2})
+	if withL1 <= base {
+		t.Fatal("L1 misses should add stalls")
+	}
+	if withL2 <= withL1 {
+		t.Fatal("memory misses should dominate L2 hits")
+	}
+	// MLP overlap: 6 misses cost one round, 7 cost two.
+	six := p.Estimate(Block{Instrs: 10, L2Misses: 6})
+	seven := p.Estimate(Block{Instrs: 10, L2Misses: 7})
+	if seven-six != p.MemLat {
+		t.Fatalf("MLP rounds wrong: %v vs %v", six, seven)
+	}
+}
+
+func TestEstimateStreaming(t *testing.T) {
+	p := TableOne()
+	small := p.Estimate(Block{Instrs: 10, Bytes: 64})
+	big := p.Estimate(Block{Instrs: 10, Bytes: 4096})
+	if big <= small {
+		t.Fatal("streaming should scale with bytes")
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid block accepted")
+		}
+	}()
+	TableOne().Estimate(Block{Instrs: 10, DepFrac: 2})
+}
+
+// Property: estimates are monotone in instruction count and misses.
+func TestEstimateMonotoneProperty(t *testing.T) {
+	p := TableOne()
+	f := func(a, b uint8, misses uint8) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		bx := Block{Instrs: x, DepFrac: 0.5, L2Misses: int(misses % 8)}
+		by := Block{Instrs: y, DepFrac: 0.5, L2Misses: int(misses % 8)}
+		return p.Estimate(bx) <= p.Estimate(by)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The derived software costs must agree with the independently calibrated
+// driver constants to within a small factor — Table 1's core model and the
+// Fig. 11 calibration describe the same machine.
+func TestDeriveMatchesCalibration(t *testing.T) {
+	c := Derive(TableOne())
+	cases := []struct {
+		name       string
+		derived    sim.Time
+		calibrated sim.Time
+	}{
+		{"SKBAlloc", c.SKBAlloc, 120 * sim.Nanosecond},
+		{"PollCheck", c.PollCheck, 20 * sim.Nanosecond},
+		{"DescWrite", c.DescWrite, 20 * sim.Nanosecond},
+		{"AllocCacheLookup", c.AllocCacheLookup, 30 * sim.Nanosecond},
+		{"SlowAllocPages", c.SlowAllocPages, 400 * sim.Nanosecond},
+		{"ZcpyPin", c.ZcpyPin, 100 * sim.Nanosecond},
+		{"CopyFixed", c.CopyFixed, 260 * sim.Nanosecond},
+		{"FlushBase", c.FlushBase, 30 * sim.Nanosecond},
+	}
+	for _, cse := range cases {
+		ratio := float64(cse.derived) / float64(cse.calibrated)
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("%s: derived %v vs calibrated %v (ratio %.2f)",
+				cse.name, cse.derived, cse.calibrated, ratio)
+		}
+	}
+	// Copy bandwidth: calibrated 6GB/s; derived from MLP x 64B / MemLat.
+	if c.CopyBytesPerSec < 3e9 || c.CopyBytesPerSec > 12e9 {
+		t.Errorf("CopyBytesPerSec = %.1e", c.CopyBytesPerSec)
+	}
+	if c.FlushPerLine < 2*sim.Nanosecond || c.FlushPerLine > 15*sim.Nanosecond {
+		t.Errorf("FlushPerLine = %v", c.FlushPerLine)
+	}
+}

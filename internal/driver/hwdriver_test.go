@@ -1,0 +1,108 @@
+package driver
+
+import (
+	"bytes"
+	"testing"
+
+	"netdimm/internal/nic"
+	"netdimm/internal/stats"
+)
+
+// The PCIe share of a dNIC transfer shrinks as packets grow: fixed
+// transaction latencies amortise while copies and wire time scale (the
+// pcie.overh trend of Fig. 4).
+func TestPCIeShareDeclinesWithSize(t *testing.T) {
+	d := NewDNICMachine(true) // zcpy isolates the PCIe trend from copies
+	var prev float64 = 1.1
+	for _, size := range []int{10, 200, 2000, 8000} {
+		p := pkt(size)
+		total := OneWay(d, d, p, fabric()).Total()
+		share := d.PCIeShare(p, total)
+		if share >= prev {
+			t.Fatalf("size %d: share %.3f did not decline from %.3f", size, share, prev)
+		}
+		prev = share
+	}
+}
+
+func TestHWDriverZcpyComponents(t *testing.T) {
+	z := NewINICMachine(true)
+	b := z.TX(pkt(1514)).Plus(z.RX(pkt(1514)))
+	// Zero copy still pays SKB allocation and pinning.
+	if b[stats.TxCopy] <= 0 || b[stats.RxCopy] <= 0 {
+		t.Fatal("zcpy should retain buffer-management costs")
+	}
+	// But both are size independent.
+	b2 := z.TX(pkt(64)).Plus(z.RX(pkt(64)))
+	if b[stats.TxCopy] != b2[stats.TxCopy] || b[stats.RxCopy] != b2[stats.RxCopy] {
+		t.Fatal("zcpy copy components should not scale with size")
+	}
+}
+
+func TestTXDataClipsOversizedPayload(t *testing.T) {
+	nd, err := NewNetDIMMMachine(51)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0xEE}, 500)
+	_, wire := nd.TXData(nic.Packet{Size: 100}, payload)
+	if len(wire) != 100 {
+		t.Fatalf("wire length = %d, want clipped to 100", len(wire))
+	}
+	if !bytes.Equal(wire, payload[:100]) {
+		t.Fatal("clipped payload corrupted")
+	}
+}
+
+func TestRXDataShortPayload(t *testing.T) {
+	nd, err := NewNetDIMMMachine(52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload shorter than the frame: the tail is whatever the buffer
+	// held (zero here); delivery must not fail.
+	_, delivered := nd.RXData(nic.Packet{Size: 128}, []byte("short"))
+	if len(delivered) != 128 {
+		t.Fatalf("delivered = %d bytes", len(delivered))
+	}
+	if string(delivered[:5]) != "short" {
+		t.Fatalf("payload head corrupted: %q", delivered[:5])
+	}
+}
+
+// Driver components never go negative and every HWDriver component is
+// non-negative across the size range.
+func TestComponentsNonNegative(t *testing.T) {
+	machines := []Machine{
+		NewDNICMachine(false), NewDNICMachine(true),
+		NewINICMachine(false), NewINICMachine(true),
+	}
+	for _, m := range machines {
+		for _, size := range []int{1, 64, 1514, 9000} {
+			for _, b := range []stats.Breakdown{m.TX(pkt(size)), m.RX(pkt(size))} {
+				for c, v := range b {
+					if v < 0 {
+						t.Fatalf("%s size %d: component %s negative", m.Name(), size, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The NetDIMM RX path's latency is dominated by fixed costs, not size:
+// the slope from 64B to MTU is far below a memcpy's.
+func TestNetDIMMRXSizeSlope(t *testing.T) {
+	nd, err := NewNetDIMMMachine(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := nd.RX(pkt(64)).Total()
+	big := nd.RX(pkt(1514)).Total()
+	slope := float64(big-small) / 1450.0 // ps per byte
+	memcpySlope := float64(DefaultCosts().CopyTime(1514)-DefaultCosts().CopyTime(64)) / 1450.0
+	if slope >= memcpySlope {
+		t.Fatalf("NetDIMM RX slope %.1f ps/B should be below memcpy slope %.1f ps/B",
+			slope, memcpySlope)
+	}
+}

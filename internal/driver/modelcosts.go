@@ -1,0 +1,24 @@
+package driver
+
+import "netdimm/internal/cpu"
+
+// CostsFromModel derives the software-stack cost set from the Table 1 core
+// model instead of the hand-calibrated DefaultCosts. The two agree within
+// a small factor (asserted by tests in internal/cpu and here); using the
+// derived set is an ablation of the calibration itself: the paper's
+// qualitative results must not depend on the exact constants.
+func CostsFromModel() Costs {
+	c := cpu.Derive(cpu.TableOne())
+	return Costs{
+		SKBAlloc:         c.SKBAlloc,
+		CopyFixed:        c.CopyFixed,
+		CopyBytesPerSec:  c.CopyBytesPerSec,
+		PollCheck:        c.PollCheck,
+		DescWrite:        c.DescWrite,
+		ZcpyPin:          c.ZcpyPin,
+		AllocCacheLookup: c.AllocCacheLookup,
+		SlowAllocPages:   c.SlowAllocPages,
+		FlushBase:        c.FlushBase,
+		FlushPerLine:     c.FlushPerLine,
+	}
+}

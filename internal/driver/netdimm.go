@@ -1,0 +1,350 @@
+package driver
+
+import (
+	"fmt"
+
+	"netdimm/internal/core"
+	"netdimm/internal/dram"
+	"netdimm/internal/kalloc"
+	"netdimm/internal/nic"
+	"netdimm/internal/sim"
+	"netdimm/internal/stats"
+)
+
+// NetDIMMDriver implements the paper's Algorithm 1 over a core.Device: DMA
+// buffers come from the allocCache with sub-array affinity, TX coherency is
+// enforced with cache-flush instructions, RX uses descriptor invalidation,
+// in-memory cloning replaces driver copies, and a polling agent watches the
+// RX ring over the memory channel.
+//
+// The driver is event-driven where the device is stateful (DMA through the
+// nMC, nCache, cloning) and analytic for pure CPU costs. Each TX/RX call
+// runs the device engine to completion, so per-call results reflect the
+// device's current bank and cache state.
+type NetDIMMDriver struct {
+	Eng   *sim.Engine
+	Dev   *core.Device
+	Zone  *kalloc.Zone
+	Cache *kalloc.AllocCache
+	Costs Costs
+
+	// CopyNeeded forces Alg. 1's slow path: the SKB lives outside the
+	// NetDIMM zone and must be CPU-copied into a DMA buffer first (used
+	// for connection-establishment packets and zone-exhaustion fallback).
+	CopyNeeded bool
+
+	txRing *nic.Ring
+	rxRing *nic.Ring
+	// appBuf is the steady-state application buffer page in the NetDIMM
+	// zone (skb_zone == NET_i after the first packet, Sec. 4.2.2).
+	appBuf int64
+
+	stats DriverStats
+}
+
+// DriverStats counts NetDIMM driver events.
+type DriverStats struct {
+	TxFast, TxSlow  uint64
+	RxPackets       uint64
+	AllocFast       uint64
+	AllocSlow       uint64
+	ClonesFPM       uint64
+	ClonesOther     uint64
+	HeaderCacheHits uint64
+	HeaderCacheMiss uint64
+	// PollMisses counts polling-agent reads that found no pending packet.
+	PollMisses uint64
+	// TxCleaned counts TX descriptors reclaimed by the polling agent
+	// (Alg. 1 line 17: "clean TX buffers after a successful transmission").
+	TxCleaned uint64
+	// RingFull counts transmissions stalled on a full TX ring.
+	RingFull uint64
+	// ZoneExhausted counts packets that fell back to reusing the app
+	// buffer because the NET_i zone had no free pages — the rare event the
+	// COPY_NEEDED flag also guards (paper Sec. 4.2.2).
+	ZoneExhausted uint64
+}
+
+// NewNetDIMMDriver wires a driver to a device and its NET_i zone. Ring
+// descriptors and the steady-state application buffer are allocated from
+// the zone (paper Sec. 4.2.2: descriptor rings must live on the NetDIMM).
+func NewNetDIMMDriver(eng *sim.Engine, dev *core.Device, zone *kalloc.Zone, costs Costs) (*NetDIMMDriver, error) {
+	ac, err := kalloc.NewAllocCache(zone, 2)
+	if err != nil {
+		return nil, err
+	}
+	txPage, err := zone.AllocPage()
+	if err != nil {
+		return nil, fmt.Errorf("driver: tx ring: %w", err)
+	}
+	rxPage, err := zone.AllocPage()
+	if err != nil {
+		return nil, fmt.Errorf("driver: rx ring: %w", err)
+	}
+	app, err := zone.AllocPage()
+	if err != nil {
+		return nil, fmt.Errorf("driver: app buffer: %w", err)
+	}
+	return &NetDIMMDriver{
+		Eng:    eng,
+		Dev:    dev,
+		Zone:   zone,
+		Cache:  ac,
+		Costs:  costs,
+		txRing: nic.NewRing("tx", txPage, 256),
+		rxRing: nic.NewRing("rx", rxPage, 256),
+		appBuf: app,
+	}, nil
+}
+
+// Name implements Machine.
+func (d *NetDIMMDriver) Name() string { return "NetDIMM" }
+
+// Stats returns a copy of the driver counters.
+func (d *NetDIMMDriver) Stats() DriverStats { return d.stats }
+
+// local converts a zone physical address to the device-local offset.
+func (d *NetDIMMDriver) local(phys int64) int64 { return phys - d.Zone.Base }
+
+// TX implements Machine, following Alg. 1 lines 1–10.
+func (d *NetDIMMDriver) TX(p nic.Packet) stats.Breakdown {
+	b, _ := d.TXData(p, nil)
+	return b
+}
+
+// TXData is TX carrying the frame's bytes: payload is the application's
+// buffer contents; wire is what the nNIC fetched from local DRAM for
+// transmission.
+func (d *NetDIMMDriver) TXData(p nic.Packet, payload []byte) (stats.Breakdown, []byte) {
+	b := stats.Breakdown{}
+	bus := d.Dev.RegisterBus()
+
+	// The polling agent cleans completed TX descriptors before queueing
+	// more (Alg. 1 line 17); with the ring drained lazily, a full ring
+	// stalls the sender until slots free up.
+	if d.txRing.Full() {
+		d.stats.RingFull++
+		d.cleanTxRing()
+	}
+
+	// Line 2: txDesc[next].dma = allocCache[txSKB.data]. The lookup always
+	// runs; only the slow path consumes the page (on the fast path the
+	// descriptor points at the SKB data, which already lives in the zone).
+	b.Add(stats.TxCopy, d.Costs.SKBAlloc+d.Costs.AllocCacheLookup+d.Costs.DescWrite)
+
+	dmaBuf := d.appBuf
+	if d.CopyNeeded {
+		// Lines 3–6, slow path: allocate a DMA buffer, CPU-copy the SKB
+		// into it, then flush the buffer to memory.
+		d.stats.TxSlow++
+		buf, fast, err := d.Cache.Get(kalloc.NoHint)
+		if err == nil {
+			dmaBuf = buf
+			defer d.Cache.Release(buf)
+		}
+		if fast {
+			d.stats.AllocFast++
+		} else {
+			d.stats.AllocSlow++
+			b.Add(stats.TxCopy, d.Costs.SlowAllocPages)
+		}
+		b.Add(stats.TxCopy, d.Costs.CopyTime(p.Size))
+		b.Add(stats.TxFlush, d.Costs.FlushTime(p.Size))
+		if payload != nil {
+			// The CPU copy: payload lands in the DMA buffer.
+			d.Dev.WriteData(d.local(dmaBuf), clip(payload, p.Size))
+		}
+	} else {
+		// Line 8, fast path: the SKB already lives in the NetDIMM zone;
+		// flush its cachelines so the nNIC reads fresh data.
+		d.stats.TxFast++
+		d.stats.AllocFast++
+		b.Add(stats.TxFlush, d.Costs.FlushTime(p.Size))
+		if payload != nil {
+			// The application wrote straight into its NET_i buffer.
+			d.Dev.WriteData(d.local(d.appBuf), clip(payload, p.Size))
+		}
+	}
+	// Lines 9–10: set and flush size+flags — the 64-bit posted write that
+	// kicks off transmission, travelling the memory channel.
+	d.txRing.Push(nic.Descriptor{BufAddr: dmaBuf, Len: p.Size, Owned: true})
+	b.Add(stats.TxFlush, d.Costs.FlushTime(nic.DescriptorBytes))
+	b.Add(stats.IOReg, bus.WriteCost())
+
+	// nController fetches the packet from local DRAM into the nNIC; the
+	// nNIC then runs the same MAC pipeline as any full-blown NIC.
+	b.Add(stats.TxDMA, nic.MACPipeline+d.measure(func(done func()) {
+		if err := d.Dev.TransmitFetch(d.local(dmaBuf), p.Size, done); err != nil {
+			done()
+		}
+	}))
+
+	// The nNIC completed the fetch: mark the descriptor done for the
+	// polling agent to reclaim lazily.
+	d.txRing.MarkDone()
+	if d.txRing.Len() >= d.txRing.Cap()/2 {
+		d.cleanTxRing()
+	}
+
+	var wire []byte
+	if payload != nil {
+		wire, _ = d.Dev.ReadData(d.local(dmaBuf), p.Size)
+	}
+	return b, wire
+}
+
+// cleanTxRing reclaims completed TX descriptors (Alg. 1 line 17).
+func (d *NetDIMMDriver) cleanTxRing() {
+	for !d.txRing.Empty() {
+		desc, err := d.txRing.Peek()
+		if err != nil || !desc.Done {
+			break
+		}
+		d.txRing.Pop()
+		d.stats.TxCleaned++
+	}
+}
+
+// clip bounds payload to the frame size.
+func clip(payload []byte, size int) []byte {
+	if len(payload) > size {
+		return payload[:size]
+	}
+	return payload
+}
+
+// RX implements Machine, following Alg. 1 lines 11–19.
+func (d *NetDIMMDriver) RX(p nic.Packet) stats.Breakdown {
+	b, _ := d.RXData(p, nil)
+	return b
+}
+
+// RXData is RX carrying the frame's bytes: payload is what the nNIC
+// received from the wire; delivered is what the upper network layer gets
+// after the in-memory clone — byte-identical to payload when the data
+// plane is intact.
+func (d *NetDIMMDriver) RXData(p nic.Packet, payload []byte) (stats.Breakdown, []byte) {
+	b := stats.Breakdown{}
+	bus := d.Dev.RegisterBus()
+	d.stats.RxPackets++
+
+	// The nNIC delivers the frame into an RX DMA buffer in local DRAM; the
+	// first cacheline (the header) lands in nCache (paper Sec. 4.1).
+	rxBuf, _, err := d.Cache.Get(kalloc.NoHint)
+	if err != nil {
+		rxBuf = d.appBuf
+		d.stats.ZoneExhausted++
+	}
+	b.Add(stats.RxDMA, nic.MACPipeline+d.measure(func(done func()) {
+		if err := d.Dev.ReceivePacketData(d.local(rxBuf), p.Size, payload, done); err != nil {
+			done()
+		}
+	}))
+	// The nController filled the next RX descriptor.
+	d.rxRing.Push(nic.Descriptor{BufAddr: rxBuf, Len: p.Size, Done: true})
+
+	// Lines 16–18: the polling agent notices the arrival — one RegStatus
+	// read over the memory channel ("polling NetDIMM is more efficient
+	// than polling a PCIe NIC").
+	rf := d.Dev.Registers()
+	if st, err := rf.Read(core.RegStatus); err != nil || st&0xffffffff == 0 {
+		d.stats.PollMisses++
+	}
+	rf.AckRX()
+	b.Add(stats.IOReg, bus.ReadCost())
+
+	// Line 12: invalidate rxDesc to fetch fresh descriptor data, then
+	// re-read it over the channel.
+	b.Add(stats.RxInvalidate, d.Costs.FlushTime(nic.DescriptorBytes))
+	b.Add(stats.IOReg, bus.ReadCost())
+
+	// Line 13: rxSKB.data = allocCache[rxDesc.dma] — sub-array affine so
+	// the clone below runs in FPM.
+	alloc := d.Costs.AllocCacheLookup
+	skbBuf, fast, err := d.Cache.Get(rxBuf)
+	if err != nil {
+		skbBuf, fast = rxBuf, false
+		d.stats.ZoneExhausted++
+	}
+	if fast {
+		d.stats.AllocFast++
+	} else {
+		d.stats.AllocSlow++
+		alloc += d.Costs.SlowAllocPages
+	}
+	b.Add(stats.RxCopy, d.Costs.SKBAlloc+alloc)
+
+	// Line 14: netdimmClone(rxSKB.data, rxDesc.dma, size). The CPU writes
+	// dst/src/size into the NetDIMM register file (one posted line write);
+	// the size write kicks the in-memory clone engine.
+	b.Add(stats.IOReg, bus.WriteCost())
+	var mode dram.CloneMode
+	cloneLat := d.measureVal(func(done func()) {
+		rf.Write(core.RegCloneSrc, uint64(d.local(rxBuf)))
+		rf.Write(core.RegCloneDst, uint64(d.local(skbBuf)))
+		rf.OnCloneDone = func(m dram.CloneMode) {
+			mode = m
+			rf.OnCloneDone = nil
+			done()
+		}
+		if err := rf.Write(core.RegCloneSize, uint64(p.Size)); err != nil {
+			rf.OnCloneDone = nil
+			done()
+		}
+	})
+	if mode == dram.FPM {
+		d.stats.ClonesFPM++
+	} else {
+		d.stats.ClonesOther++
+	}
+	b.Add(stats.RxCopy, cloneLat)
+
+	// Line 15: the stack processes the header — read from the DMA buffer,
+	// which hits nCache (header caching).
+	b.Add(stats.RxCopy, d.measure(func(done func()) {
+		d.Dev.HostReadLine(d.local(rxBuf), func(hit bool, lat sim.Time) {
+			if hit {
+				d.stats.HeaderCacheHits++
+			} else {
+				d.stats.HeaderCacheMiss++
+			}
+			done()
+		})
+	}))
+
+	// The descriptor is consumed; return the slot to the ring.
+	d.rxRing.Pop()
+
+	// The upper layer's view: the cloned bytes at the SKB buffer.
+	var delivered []byte
+	if payload != nil {
+		delivered, _ = d.Dev.ReadData(d.local(skbBuf), p.Size)
+	}
+
+	// Buffers recycle: the DMA buffer returns to the cache's zone, the SKB
+	// buffer is handed to the application (freed later, off the critical
+	// path).
+	d.Cache.Release(rxBuf)
+	if skbBuf != rxBuf {
+		d.Cache.Release(skbBuf)
+	}
+	return b, delivered
+}
+
+// measure runs an event-driven device operation to completion on the
+// driver's engine and returns its duration.
+func (d *NetDIMMDriver) measure(op func(done func())) sim.Time {
+	start := d.Eng.Now()
+	var end sim.Time
+	op(func() { end = d.Eng.Now() })
+	d.Eng.Run()
+	if end < start {
+		end = d.Eng.Now()
+	}
+	return end - start
+}
+
+// measureVal is measure for operations whose callback carries a value.
+func (d *NetDIMMDriver) measureVal(op func(done func())) sim.Time {
+	return d.measure(op)
+}

@@ -1,0 +1,42 @@
+package driver
+
+import (
+	"netdimm/internal/core"
+	"netdimm/internal/ethernet"
+	"netdimm/internal/kalloc"
+	"netdimm/internal/nic"
+	"netdimm/internal/sim"
+	"netdimm/internal/stats"
+)
+
+// OneWay composes the full one-way latency of sending packet p from the tx
+// machine to the rx machine over the fabric's point-to-point path: driver
+// TX, wire, driver RX (the structure of the paper's Fig. 4 and Fig. 11
+// experiments).
+func OneWay(tx, rx Machine, p nic.Packet, fabric ethernet.Fabric) stats.Breakdown {
+	b := tx.TX(p)
+	b.Add(stats.Wire, fabric.DirectWireTime(p.Size))
+	return b.Plus(rx.RX(p))
+}
+
+// NewDNICMachine returns the baseline discrete-PCIe-NIC configuration.
+func NewDNICMachine(zeroCopy bool) *HWDriver {
+	return &HWDriver{Dev: nic.NewDNIC(), Costs: DefaultCosts(), ZeroCopy: zeroCopy}
+}
+
+// NewINICMachine returns the integrated-NIC configuration.
+func NewINICMachine(zeroCopy bool) *HWDriver {
+	return &HWDriver{Dev: nic.NewINIC(), Costs: DefaultCosts(), ZeroCopy: zeroCopy}
+}
+
+// NewNetDIMMMachine builds a complete NetDIMM endpoint: engine, device,
+// NET_0 zone and driver. The zone base matches a 16GB-DDR system map where
+// the NetDIMM region starts at 16GB.
+func NewNetDIMMMachine(seed uint64) (*NetDIMMDriver, error) {
+	eng := sim.NewEngine()
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	dev := core.NewDevice(eng, cfg)
+	zone := kalloc.NewNetDIMMZone("NET_0", 16<<30, dev.Size())
+	return NewNetDIMMDriver(eng, dev, zone, DefaultCosts())
+}

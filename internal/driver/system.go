@@ -1,0 +1,119 @@
+package driver
+
+import (
+	"fmt"
+
+	"netdimm/internal/core"
+	"netdimm/internal/kalloc"
+	"netdimm/internal/nic"
+	"netdimm/internal/sim"
+	"netdimm/internal/stats"
+)
+
+// System is a server with one or more NetDIMMs installed (paper Sec. 4.2.1:
+// "a system can have multiple NetDIMMs installed on memory channels and
+// each need a different memory zone"). Connections are bound to a NET_i
+// zone on their first transmission: the first packet takes Algorithm 1's
+// COPY_NEEDED slow path (its SKB lives in the regular kernel zone), which
+// records skb_zone = NET_i in the socket so every later packet of the
+// connection allocates directly on that NetDIMM and rides the fast path
+// (Sec. 4.2.2).
+type System struct {
+	eng   *sim.Engine
+	dimms []*NetDIMMDriver
+	// conns maps a connection to its NET_i index; bound on first TX.
+	conns map[uint64]int
+	// next drives round-robin assignment of new connections.
+	next int
+
+	firstPackets uint64
+}
+
+// NewSystem builds a server with n NetDIMMs. Zones are laid out per the
+// flex-mode address map: NET_i starts at 16GB + i*16GB.
+func NewSystem(n int, seed uint64) (*System, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("driver: system needs at least one NetDIMM, got %d", n)
+	}
+	eng := sim.NewEngine()
+	s := &System{eng: eng, conns: make(map[uint64]int)}
+	for i := 0; i < n; i++ {
+		cfg := core.DefaultConfig()
+		cfg.Seed = seed + uint64(i)
+		dev := core.NewDevice(eng, cfg)
+		zone := kalloc.NewNetDIMMZone(fmt.Sprintf("NET_%d", i), 16<<30+int64(i)*dev.Size(), dev.Size())
+		d, err := NewNetDIMMDriver(eng, dev, zone, DefaultCosts())
+		if err != nil {
+			return nil, fmt.Errorf("driver: NetDIMM %d: %w", i, err)
+		}
+		s.dimms = append(s.dimms, d)
+	}
+	return s, nil
+}
+
+// NetDIMMs returns the number of installed NetDIMMs.
+func (s *System) NetDIMMs() int { return len(s.dimms) }
+
+// Driver exposes NetDIMM i's driver (for inspection).
+func (s *System) Driver(i int) *NetDIMMDriver { return s.dimms[i] }
+
+// ZoneOf returns the NET_i index a connection is bound to, or -1 before
+// its first transmission.
+func (s *System) ZoneOf(conn uint64) int {
+	if z, ok := s.conns[conn]; ok {
+		return z
+	}
+	return -1
+}
+
+// FirstPackets counts transmissions that took the COPY_NEEDED slow path.
+func (s *System) FirstPackets() uint64 { return s.firstPackets }
+
+// bind assigns a new connection to a NetDIMM round-robin (the scheduler's
+// least-loaded placement reduces to round-robin under uniform traffic).
+func (s *System) bind(conn uint64) int {
+	z := s.next % len(s.dimms)
+	s.next++
+	s.conns[conn] = z
+	return z
+}
+
+// TX transmits one packet of the given connection, binding the connection
+// to a zone (and paying the slow path) on its first packet.
+func (s *System) TX(conn uint64, p nic.Packet) stats.Breakdown {
+	z, bound := s.conns[conn]
+	d := s.dimms[0]
+	if bound {
+		d = s.dimms[z]
+		return d.TX(p)
+	}
+	z = s.bind(conn)
+	d = s.dimms[z]
+	s.firstPackets++
+	// First packet: SKB was allocated in the regular kernel zone before
+	// the socket learned its skb_zone.
+	wasCopyNeeded := d.CopyNeeded
+	d.CopyNeeded = true
+	b := d.TX(p)
+	d.CopyNeeded = wasCopyNeeded
+	return b
+}
+
+// RX receives one packet for the given connection on its bound NetDIMM
+// (unbound connections receive on NET_0: the listening socket's packets
+// arrive wherever the RSS hash lands, here the first NetDIMM).
+func (s *System) RX(conn uint64, p nic.Packet) stats.Breakdown {
+	if z, ok := s.conns[conn]; ok {
+		return s.dimms[z].RX(p)
+	}
+	return s.dimms[0].RX(p)
+}
+
+// Distribution returns how many connections are bound to each NET_i.
+func (s *System) Distribution() []int {
+	out := make([]int, len(s.dimms))
+	for _, z := range s.conns {
+		out[z]++
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package driver
+
+import (
+	"testing"
+
+	"netdimm/internal/stats"
+)
+
+func TestSystemValidation(t *testing.T) {
+	if _, err := NewSystem(0, 1); err == nil {
+		t.Fatal("zero NetDIMMs accepted")
+	}
+}
+
+func TestSystemConnectionBinding(t *testing.T) {
+	s, err := NewSystem(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NetDIMMs() != 2 {
+		t.Fatalf("NetDIMMs = %d", s.NetDIMMs())
+	}
+	if s.ZoneOf(42) != -1 {
+		t.Fatal("unbound connection should report -1")
+	}
+	s.TX(42, pkt(256))
+	z := s.ZoneOf(42)
+	if z < 0 || z > 1 {
+		t.Fatalf("zone = %d", z)
+	}
+	// Sticky: later packets stay on the same NetDIMM.
+	s.TX(42, pkt(256))
+	if s.ZoneOf(42) != z {
+		t.Fatal("connection migrated zones")
+	}
+}
+
+// First packet pays the COPY_NEEDED slow path; the rest ride the fast path
+// (paper Sec. 4.2.2).
+func TestSystemFirstPacketSlowPath(t *testing.T) {
+	s, err := NewSystem(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.TX(7, pkt(1514))
+	second := s.TX(7, pkt(1514))
+	if s.FirstPackets() != 1 {
+		t.Fatalf("FirstPackets = %d", s.FirstPackets())
+	}
+	if first[stats.TxCopy] <= second[stats.TxCopy] {
+		t.Fatalf("first packet txCopy %v should exceed steady state %v",
+			first[stats.TxCopy], second[stats.TxCopy])
+	}
+	d := s.Driver(0)
+	if d.Stats().TxSlow != 1 || d.Stats().TxFast != 1 {
+		t.Fatalf("driver stats = %+v", d.Stats())
+	}
+	if d.CopyNeeded {
+		t.Fatal("CopyNeeded flag leaked past the first packet")
+	}
+}
+
+func TestSystemSpreadsConnections(t *testing.T) {
+	s, err := NewSystem(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for conn := uint64(0); conn < 100; conn++ {
+		s.TX(conn, pkt(128))
+	}
+	dist := s.Distribution()
+	for i, n := range dist {
+		if n != 25 {
+			t.Fatalf("NET_%d has %d connections, want 25 (round robin): %v", i, n, dist)
+		}
+	}
+}
+
+func TestSystemRXRouting(t *testing.T) {
+	s, err := NewSystem(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbound RX lands on NET_0.
+	s.RX(99, pkt(256))
+	if s.Driver(0).Stats().RxPackets != 1 {
+		t.Fatal("unbound RX should land on NET_0")
+	}
+	// Bind a connection to NET_1 and receive on it.
+	s.TX(0, pkt(64)) // binds to NET_0
+	s.TX(1, pkt(64)) // binds to NET_1
+	s.RX(1, pkt(256))
+	if s.Driver(1).Stats().RxPackets != 1 {
+		t.Fatal("bound RX should follow the connection's zone")
+	}
+}
+
+func TestSystemZonesDoNotOverlap(t *testing.T) {
+	s, err := NewSystem(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		zi := s.Driver(i).Zone
+		for j := i + 1; j < 3; j++ {
+			zj := s.Driver(j).Zone
+			if zi.Base < zj.Base+zj.Size && zj.Base < zi.Base+zi.Size {
+				t.Fatalf("zones %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func TestTxRingCleaning(t *testing.T) {
+	nd, err := NewNetDIMMMachine(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sustained TX far beyond the ring capacity must not wedge: the
+	// polling agent reclaims completed descriptors.
+	for i := 0; i < 1000; i++ {
+		nd.TX(pkt(256))
+	}
+	s := nd.Stats()
+	if s.TxFast != 1000 {
+		t.Fatalf("TxFast = %d", s.TxFast)
+	}
+	if s.TxCleaned == 0 {
+		t.Fatal("no TX descriptors reclaimed")
+	}
+	if s.TxCleaned+uint64(256) < 1000 {
+		t.Fatalf("cleaning fell behind: cleaned %d of 1000", s.TxCleaned)
+	}
+}
+
+func TestRxRingBalanced(t *testing.T) {
+	nd, err := NewNetDIMMMachine(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 600; i++ {
+		nd.RX(pkt(512))
+	}
+	// Every RX consumed its descriptor: the ring is empty at rest.
+	if nd.rxRing.Len() != 0 {
+		t.Fatalf("rx ring holds %d stale descriptors", nd.rxRing.Len())
+	}
+}

@@ -1,0 +1,84 @@
+package ethernet
+
+import (
+	"testing"
+
+	"netdimm/internal/sim"
+)
+
+func TestSerializeTime(t *testing.T) {
+	l := Link40G()
+	// 1514B + 24B overhead = 1538B = 12304 bits at 40Gbps ~ 307.6ns.
+	got := l.SerializeTime(1514)
+	if got < 300*sim.Nanosecond || got > 315*sim.Nanosecond {
+		t.Fatalf("SerializeTime(1514) = %v, want ~308ns", got)
+	}
+	if l.SerializeTime(64) >= l.SerializeTime(1514) {
+		t.Fatal("serialisation should grow with size")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	l := Link40G()
+	if l.TransferTime(64) != l.SerializeTime(64)+l.PHYLatency {
+		t.Fatal("TransferTime composition wrong")
+	}
+}
+
+func TestSwitchModes(t *testing.T) {
+	l := Link40G()
+	ct := Switch{Latency: 100 * sim.Nanosecond, CutThrough: true}
+	sf := Switch{Latency: 100 * sim.Nanosecond, CutThrough: false}
+	if ct.HopTime(l, 1514) >= sf.HopTime(l, 1514) {
+		t.Fatal("cut-through should beat store-and-forward for large frames")
+	}
+}
+
+func TestHopCounts(t *testing.T) {
+	f := NewFabric(100 * sim.Nanosecond)
+	if f.Hops(IntraRack) != 1 || f.Hops(IntraCluster) != 3 ||
+		f.Hops(IntraDatacenter) != 5 || f.Hops(InterDatacenter) != 7 {
+		t.Fatal("clos hop counts wrong")
+	}
+}
+
+func TestWireTimeOrdering(t *testing.T) {
+	f := NewFabric(100 * sim.Nanosecond)
+	n := 256
+	a := f.WireTime(n, IntraRack)
+	b := f.WireTime(n, IntraCluster)
+	c := f.WireTime(n, IntraDatacenter)
+	d := f.WireTime(n, InterDatacenter)
+	if !(a < b && b < c && c < d) {
+		t.Fatalf("locality ordering violated: %v %v %v %v", a, b, c, d)
+	}
+	// Inter-DC pays WAN propagation beyond the extra hops.
+	if d-c < f.InterDCPropagation {
+		t.Fatal("inter-DC should include WAN propagation")
+	}
+}
+
+// Fig. 12a mechanism: lower switch latency shrinks the wire share, which
+// is what amplifies NetDIMM's relative gains.
+func TestSwitchLatencySensitivity(t *testing.T) {
+	fast := NewFabric(25 * sim.Nanosecond)
+	slow := NewFabric(200 * sim.Nanosecond)
+	diff := slow.WireTime(256, IntraCluster) - fast.WireTime(256, IntraCluster)
+	want := sim.Time(3) * (200 - 25) * sim.Nanosecond
+	if diff != want {
+		t.Fatalf("switch sweep delta = %v, want %v", diff, want)
+	}
+}
+
+func TestDirectWireTime(t *testing.T) {
+	f := NewFabric(100 * sim.Nanosecond)
+	if f.DirectWireTime(64) != f.WireTime(64, IntraRack) {
+		t.Fatal("direct wire should equal one-switch path")
+	}
+}
+
+func TestLocalityString(t *testing.T) {
+	if IntraCluster.String() != "intra-cluster" || Locality(9).String() == "" {
+		t.Fatal("Locality.String wrong")
+	}
+}

@@ -1,0 +1,159 @@
+package ethernet
+
+import (
+	"fmt"
+
+	"netdimm/internal/sim"
+)
+
+// The analytic Fabric covers the paper's experiments (uncongested paths).
+// This file is the event-driven extension: output-queued switch ports with
+// finite buffers, so congestion effects — queueing delay and tail drops
+// under incast — are simulated rather than assumed away.
+
+// Frame is one frame in flight through the switched fabric.
+type Frame struct {
+	ID    uint64
+	Bytes int
+	// Enqueued is when the frame entered the current port's queue.
+	Enqueued sim.Time
+}
+
+// PortStats counts egress-port events.
+type PortStats struct {
+	Forwarded uint64
+	Dropped   uint64
+	// QueueDelaySum accumulates time spent waiting behind other frames.
+	QueueDelaySum sim.Time
+	MaxDepth      int
+}
+
+// AvgQueueDelay returns the mean queueing delay of forwarded frames.
+func (s PortStats) AvgQueueDelay() sim.Time {
+	if s.Forwarded == 0 {
+		return 0
+	}
+	return s.QueueDelaySum / sim.Time(s.Forwarded)
+}
+
+// Port is an output-queued switch egress port: frames serialise onto the
+// link one at a time; arrivals beyond the buffer are tail-dropped.
+type Port struct {
+	eng      *sim.Engine
+	link     Link
+	capacity int // frames of buffering
+
+	queue []queuedFrame
+	busy  bool
+	stats PortStats
+}
+
+type queuedFrame struct {
+	frame   Frame
+	deliver func(Frame)
+}
+
+// NewPort returns a port over the given link with a buffer of capacity
+// frames.
+func NewPort(eng *sim.Engine, link Link, capacity int) *Port {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ethernet: port capacity %d", capacity))
+	}
+	return &Port{eng: eng, link: link, capacity: capacity}
+}
+
+// Stats returns a copy of the port statistics.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// Depth returns the current queue occupancy (including the frame on the
+// wire).
+func (p *Port) Depth() int {
+	n := len(p.queue)
+	if p.busy {
+		n++
+	}
+	return n
+}
+
+// Send enqueues a frame for transmission. deliver fires when the last bit
+// leaves the wire (plus PHY latency). A full buffer tail-drops the frame
+// and returns false.
+func (p *Port) Send(f Frame, deliver func(Frame)) bool {
+	if p.Depth() >= p.capacity {
+		p.stats.Dropped++
+		return false
+	}
+	f.Enqueued = p.eng.Now()
+	p.queue = append(p.queue, queuedFrame{frame: f, deliver: deliver})
+	if d := p.Depth(); d > p.stats.MaxDepth {
+		p.stats.MaxDepth = d
+	}
+	if !p.busy {
+		p.transmitNext()
+	}
+	return true
+}
+
+func (p *Port) transmitNext() {
+	if len(p.queue) == 0 {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	qf := p.queue[0]
+	p.queue = p.queue[1:]
+	p.stats.QueueDelaySum += p.eng.Now() - qf.frame.Enqueued
+	wire := p.link.SerializeTime(qf.frame.Bytes)
+	p.eng.Schedule(wire, func() {
+		p.stats.Forwarded++
+		if qf.deliver != nil {
+			f := qf.frame
+			p.eng.Schedule(p.link.PHYLatency, func() { qf.deliver(f) })
+		}
+		p.transmitNext()
+	})
+}
+
+// SwitchNode is an event-driven switch: frames arrive, pay the switching
+// latency, and queue at the destination egress port.
+type SwitchNode struct {
+	eng     *sim.Engine
+	latency sim.Time
+	ports   []*Port
+}
+
+// NewSwitchNode builds a switch with n egress ports of the given buffer
+// capacity.
+func NewSwitchNode(eng *sim.Engine, link Link, latency sim.Time, n, portCapacity int) *SwitchNode {
+	if n <= 0 {
+		panic("ethernet: switch needs ports")
+	}
+	s := &SwitchNode{eng: eng, latency: latency}
+	for i := 0; i < n; i++ {
+		s.ports = append(s.ports, NewPort(eng, link, portCapacity))
+	}
+	return s
+}
+
+// Port returns egress port i.
+func (s *SwitchNode) Port(i int) *Port { return s.ports[i] }
+
+// Forward switches a frame to egress port dst; deliver fires at the far
+// end of that port's link. It reports false if the egress buffer dropped
+// the frame.
+func (s *SwitchNode) Forward(dst int, f Frame, deliver func(Frame)) bool {
+	if dst < 0 || dst >= len(s.ports) {
+		panic(fmt.Sprintf("ethernet: no port %d", dst))
+	}
+	ok := true
+	s.eng.Schedule(s.latency, func() {
+		ok = s.ports[dst].Send(f, deliver)
+	})
+	// The drop decision happens after the switching delay; for the
+	// caller's convenience we report synchronously whether the port was
+	// already full now (best-effort early signal).
+	if s.ports[dst].Depth() >= s.ports[dst].capacity {
+		return false
+	}
+	return ok
+}

@@ -1,0 +1,142 @@
+package ethernet
+
+import (
+	"testing"
+
+	"netdimm/internal/sim"
+)
+
+func TestPortSerialises(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPort(eng, Link40G(), 16)
+	var arrivals []sim.Time
+	for i := 0; i < 3; i++ {
+		if !p.Send(Frame{ID: uint64(i), Bytes: 1514}, func(Frame) {
+			arrivals = append(arrivals, eng.Now())
+		}) {
+			t.Fatal("send rejected")
+		}
+	}
+	eng.Run()
+	if len(arrivals) != 3 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	ser := Link40G().SerializeTime(1514)
+	for i := 1; i < len(arrivals); i++ {
+		gap := arrivals[i] - arrivals[i-1]
+		if gap != ser {
+			t.Fatalf("frame %d gap = %v, want serialisation %v", i, gap, ser)
+		}
+	}
+}
+
+func TestPortFIFOOrder(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPort(eng, Link40G(), 16)
+	var order []uint64
+	for i := 0; i < 5; i++ {
+		p.Send(Frame{ID: uint64(i), Bytes: 200}, func(f Frame) { order = append(order, f.ID) })
+	}
+	eng.Run()
+	for i, id := range order {
+		if id != uint64(i) {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestPortTailDrop(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPort(eng, Link40G(), 2)
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if p.Send(Frame{ID: uint64(i), Bytes: 1514}, nil) {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted = %d, want capacity 2", accepted)
+	}
+	eng.Run()
+	s := p.Stats()
+	if s.Dropped != 8 || s.Forwarded != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestPortQueueDelayGrows(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPort(eng, Link40G(), 64)
+	for i := 0; i < 10; i++ {
+		p.Send(Frame{ID: uint64(i), Bytes: 1514}, nil)
+	}
+	eng.Run()
+	if p.Stats().AvgQueueDelay() <= 0 {
+		t.Fatal("burst should accumulate queueing delay")
+	}
+	if p.Stats().MaxDepth != 10 {
+		t.Fatalf("MaxDepth = %d", p.Stats().MaxDepth)
+	}
+}
+
+func TestSwitchNodeForward(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitchNode(eng, Link40G(), 100*sim.Nanosecond, 4, 16)
+	var deliveredAt sim.Time
+	sw.Forward(2, Frame{ID: 1, Bytes: 64}, func(Frame) { deliveredAt = eng.Now() })
+	eng.Run()
+	want := 100*sim.Nanosecond + Link40G().SerializeTime(64) + Link40G().PHYLatency
+	if deliveredAt != want {
+		t.Fatalf("delivered at %v, want %v", deliveredAt, want)
+	}
+	if sw.Port(2).Stats().Forwarded != 1 {
+		t.Fatal("port stats missing")
+	}
+}
+
+func TestSwitchNodeBadPortPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewSwitchNode(eng, Link40G(), 0, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad port accepted")
+		}
+	}()
+	sw.Forward(7, Frame{}, nil)
+}
+
+func TestPortValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewPort(sim.NewEngine(), Link40G(), 0)
+}
+
+// Incast: many synchronized senders into one egress port — queueing delay
+// grows with fan-in and the buffer eventually drops.
+func TestIncastBehaviour(t *testing.T) {
+	run := func(senders int) (avg sim.Time, drops uint64) {
+		eng := sim.NewEngine()
+		sw := NewSwitchNode(eng, Link40G(), 100*sim.Nanosecond, 1, 32)
+		for i := 0; i < senders; i++ {
+			sw.Forward(0, Frame{ID: uint64(i), Bytes: 1514}, nil)
+		}
+		eng.Run()
+		s := sw.Port(0).Stats()
+		return s.AvgQueueDelay(), s.Dropped
+	}
+	avg4, drops4 := run(4)
+	avg16, drops16 := run(16)
+	_, drops64 := run(64)
+	if avg16 <= avg4 {
+		t.Fatalf("queue delay should grow with fan-in: %v vs %v", avg16, avg4)
+	}
+	if drops4 != 0 || drops16 != 0 {
+		t.Fatalf("small incast should fit the buffer: %d/%d", drops4, drops16)
+	}
+	if drops64 == 0 {
+		t.Fatal("64-way incast should overflow a 32-frame buffer")
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"netdimm/internal/driver"
+	"netdimm/internal/ethernet"
+	"netdimm/internal/sim"
+	"netdimm/internal/stats"
+	"netdimm/internal/workload"
+)
+
+// Fig12aRow is one (cluster, switch latency) cell of Fig. 12(a): mean
+// per-packet one-way latency per architecture and NetDIMM's normalised
+// latency against both baselines.
+type Fig12aRow struct {
+	Cluster       workload.Cluster
+	SwitchLatency sim.Time
+	DNICMean      sim.Time
+	INICMean      sim.Time
+	NetDIMMMean   sim.Time
+}
+
+// NormVsDNIC returns NetDIMM latency normalised to the dNIC configuration
+// (the Fig. 12a Y axis; lower is better).
+func (r Fig12aRow) NormVsDNIC() float64 {
+	if r.DNICMean == 0 {
+		return 0
+	}
+	return float64(r.NetDIMMMean) / float64(r.DNICMean)
+}
+
+// NormVsINIC returns NetDIMM latency normalised to the iNIC configuration.
+func (r Fig12aRow) NormVsINIC() float64 {
+	if r.INICMean == 0 {
+		return 0
+	}
+	return float64(r.NetDIMMMean) / float64(r.INICMean)
+}
+
+// PaperSwitchLatencies are the values swept in Fig. 12(a).
+var PaperSwitchLatencies = []sim.Time{
+	25 * sim.Nanosecond, 50 * sim.Nanosecond, 100 * sim.Nanosecond, 200 * sim.Nanosecond,
+}
+
+// Fig12a replays n packets of each cluster's synthetic trace through the
+// clos fabric for every switch latency, measuring the mean one-way
+// per-packet latency under each NIC architecture. The clos switches are
+// store-and-forward, so MTU-heavy traffic (hadoop) pays per-hop
+// re-serialisation, reproducing the paper's cluster ordering.
+func Fig12a(clusters []workload.Cluster, switchLats []sim.Time, n int, seed uint64) ([]Fig12aRow, error) {
+	var rows []Fig12aRow
+	for _, cl := range clusters {
+		for _, sl := range switchLats {
+			fabric := ethernet.NewFabric(sl)
+			fabric.Switch.CutThrough = false
+
+			events := workload.NewGenerator(cl, 0, seed).Generate(n)
+			ndTX, err := driver.NewNetDIMMMachine(seed*2 + 1)
+			if err != nil {
+				return nil, err
+			}
+			ndRX, err := driver.NewNetDIMMMachine(seed*2 + 2)
+			if err != nil {
+				return nil, err
+			}
+			dn := driver.NewDNICMachine(false)
+			in := driver.NewINICMachine(false)
+
+			var dnSum, inSum, ndSum sim.Time
+			for i, e := range events {
+				p := e.Packet(uint64(i))
+				wire := fabric.WireTime(e.Size, e.Locality)
+
+				dnB := dn.TX(p)
+				dnB.Add(stats.Wire, wire)
+				dnSum += dnB.Plus(dn.RX(p)).Total()
+
+				inB := in.TX(p)
+				inB.Add(stats.Wire, wire)
+				inSum += inB.Plus(in.RX(p)).Total()
+
+				ndB := ndTX.TX(p)
+				ndB.Add(stats.Wire, wire)
+				ndSum += ndB.Plus(ndRX.RX(p)).Total()
+			}
+			cnt := sim.Time(len(events))
+			rows = append(rows, Fig12aRow{
+				Cluster:       cl,
+				SwitchLatency: sl,
+				DNICMean:      dnSum / cnt,
+				INICMean:      inSum / cnt,
+				NetDIMMMean:   ndSum / cnt,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig12aAverages reduces rows to the paper's summary form: the average
+// NetDIMM latency reduction vs dNIC per switch latency, across clusters
+// ("40.6%, 36.0%, 33.1%, and 25.3% when switch latency is 25, 50, 100, and
+// 200ns").
+func Fig12aAverages(rows []Fig12aRow) map[sim.Time]float64 {
+	sums := map[sim.Time]float64{}
+	counts := map[sim.Time]int{}
+	for _, r := range rows {
+		sums[r.SwitchLatency] += 1 - r.NormVsDNIC()
+		counts[r.SwitchLatency]++
+	}
+	out := make(map[sim.Time]float64, len(sums))
+	for k, v := range sums {
+		out[k] = v / float64(counts[k])
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"netdimm/internal/ethernet"
+	"netdimm/internal/nic"
+	"netdimm/internal/pcie"
+	"netdimm/internal/sim"
+)
+
+// Fig7Point is one DMA memory request as plotted in the paper's Fig. 7:
+// relative cacheline address vs relative arrival time at the memory
+// controller.
+type Fig7Point struct {
+	RelLine int // cacheline offset from the first request
+	RelTime sim.Time
+	Burst   int // which packet's burst this request belongs to
+}
+
+// Fig7 reproduces the NIC DMA access-pattern study: the memory requests
+// generated while receiving six back-to-back 1514B packets on a 40GbE NIC.
+// Each arrival produces a burst of 24 cacheline writes paced at the PCIe
+// DMA rate — the spatial/temporal locality that motivates nCache and
+// nPrefetcher (Sec. 4.1).
+func Fig7() []Fig7Point {
+	const packets = 6
+	link := ethernet.Link40G()
+	dmaBW := pcie.NewLink(pcie.Gen4, 8).EffectiveBandwidth(256)
+
+	var out []Fig7Point
+	var t0 sim.Time
+	var base int64
+	for pktIdx := 0; pktIdx < packets; pktIdx++ {
+		arrive := sim.Time(pktIdx) * link.SerializeTime(nic.MTU)
+		// RX buffers are consecutive 2KB ring slots.
+		buf := int64(pktIdx) * 2048
+		trace := nic.TraceTransfer(arrive, buf, nic.MTU, true, dmaBW)
+		for _, e := range trace {
+			if len(out) == 0 {
+				t0 = e.At
+				base = e.Addr
+			}
+			out = append(out, Fig7Point{
+				RelLine: int((e.Addr - base) / 64),
+				RelTime: e.At - t0,
+				Burst:   pktIdx,
+			})
+		}
+	}
+	return out
+}
+
+// Fig7BurstSpan returns the duration of one packet's DMA burst — the
+// paper highlights a 24-cacheline burst spanning ~143ns.
+func Fig7BurstSpan(points []Fig7Point, burst int) sim.Time {
+	var first, last sim.Time
+	seen := false
+	for _, p := range points {
+		if p.Burst != burst {
+			continue
+		}
+		if !seen {
+			first = p.RelTime
+			seen = true
+		}
+		last = p.RelTime
+	}
+	return last - first
+}

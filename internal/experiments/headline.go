@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"netdimm/internal/netfunc"
+	"netdimm/internal/sim"
+	"netdimm/internal/workload"
+)
+
+// Headline collects the numbers the paper quotes in its abstract and
+// Sec. 5, as measured by this reproduction.
+type Headline struct {
+	// AvgReductionVsDNIC is the mean one-way latency reduction vs a PCIe
+	// NIC across packet sizes (paper: 49.9%).
+	AvgReductionVsDNIC float64
+	// AvgReductionVsINIC is the mean reduction vs an integrated NIC
+	// (paper: 25.9%).
+	AvgReductionVsINIC float64
+	// TraceReductionBySwitch is the per-switch-latency average per-packet
+	// reduction on the cluster replays (paper: 40.6/36.0/33.1/25.3% at
+	// 25/50/100/200ns).
+	TraceReductionBySwitch map[sim.Time]float64
+	// DPIWorst / L3FBest bound the Fig. 12b interference deltas (paper:
+	// DPI up to +15.4%, L3F up to -30.9% vs iNIC).
+	DPIWorst float64 // max Norm-1 over DPI cells
+	L3FBest  float64 // max 1-Norm over L3F cells
+}
+
+// RunHeadline executes the summary measurement suite. n controls the
+// trace-replay length per cell.
+func RunHeadline(n int) (Headline, error) {
+	var h Headline
+
+	fig11, err := Fig11(Fig11Sizes, 100*sim.Nanosecond)
+	if err != nil {
+		return h, err
+	}
+	h.AvgReductionVsDNIC = AverageReduction(fig11, false)
+	h.AvgReductionVsINIC = AverageReduction(fig11, true)
+
+	rows, err := Fig12a(workload.Clusters, PaperSwitchLatencies, n, 3)
+	if err != nil {
+		return h, err
+	}
+	h.TraceReductionBySwitch = Fig12aAverages(rows)
+
+	cfg := DefaultFig12bConfig()
+	cells := Fig12b(workload.Clusters, []netfunc.Kind{netfunc.DPI, netfunc.L3F}, cfg)
+	for _, c := range cells {
+		switch c.Kind {
+		case netfunc.DPI:
+			if d := c.Norm() - 1; d > h.DPIWorst {
+				h.DPIWorst = d
+			}
+		case netfunc.L3F:
+			if d := 1 - c.Norm(); d > h.L3FBest {
+				h.L3FBest = d
+			}
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,136 @@
+// Package experiments assembles full systems from the substrate packages
+// and regenerates every table and figure of the paper's evaluation:
+//
+//	Fig. 4   — one-way latency of dNIC / dNIC.zcpy / iNIC / iNIC.zcpy with
+//	           the PCIe overhead share (motivation, Sec. 3)
+//	Fig. 5   — iperf bandwidth under memory pressure (motivation, Sec. 3)
+//	Fig. 7   — spatial/temporal locality of NIC DMA accesses (Sec. 4.1)
+//	Fig. 11  — one-way latency breakdown for dNIC / iNIC / NetDIMM (Sec. 5.2)
+//	Fig. 12a — per-packet latency on Facebook-like cluster traces across
+//	           switch latencies (Sec. 5.3)
+//	Fig. 12b — co-running application memory latency under DPI and L3F
+//	           (Sec. 5.3)
+//
+// plus the headline numbers quoted in the abstract.
+package experiments
+
+import (
+	"netdimm/internal/driver"
+	"netdimm/internal/ethernet"
+	"netdimm/internal/nic"
+	"netdimm/internal/sim"
+	"netdimm/internal/stats"
+)
+
+// PaperSizes are the packet sizes on the X axis of Fig. 4 and Fig. 11.
+var PaperSizes = []int{10, 60, 200, 500, 1000, 2000, 4000, 8000}
+
+// Fig11Sizes are the sizes the paper quotes explicit NetDIMM reductions
+// for (Sec. 5.2: 64B, 256B, 1024B).
+var Fig11Sizes = []int{64, 256, 1024, 1514, 4000, 8000}
+
+// Fig4Row is one packet size's comparison of the four baseline NIC
+// configurations (Fig. 4), with the PCIe share of the two dNIC configs.
+type Fig4Row struct {
+	Size          int
+	DNIC          sim.Time
+	DNICZcpy      sim.Time
+	INIC          sim.Time
+	INICZcpy      sim.Time
+	PCIeShare     float64 // pcie.overh for dNIC
+	PCIeShareZcpy float64 // pcie.overh for dNIC.zcpy
+}
+
+// Fig4 reproduces the motivation experiment: one-way latency between two
+// directly connected nodes for the four baseline configurations.
+func Fig4(sizes []int, switchLatency sim.Time) []Fig4Row {
+	fabric := ethernet.NewFabric(switchLatency)
+	rows := make([]Fig4Row, 0, len(sizes))
+	for _, size := range sizes {
+		p := nic.Packet{Size: size}
+		dn := driver.NewDNICMachine(false)
+		dz := driver.NewDNICMachine(true)
+		in := driver.NewINICMachine(false)
+		iz := driver.NewINICMachine(true)
+
+		dnB := driver.OneWay(dn, driver.NewDNICMachine(false), p, fabric)
+		dzB := driver.OneWay(dz, driver.NewDNICMachine(true), p, fabric)
+		inB := driver.OneWay(in, driver.NewINICMachine(false), p, fabric)
+		izB := driver.OneWay(iz, driver.NewINICMachine(true), p, fabric)
+
+		rows = append(rows, Fig4Row{
+			Size:          size,
+			DNIC:          dnB.Total(),
+			DNICZcpy:      dzB.Total(),
+			INIC:          inB.Total(),
+			INICZcpy:      izB.Total(),
+			PCIeShare:     dn.PCIeShare(p, dnB.Total()),
+			PCIeShareZcpy: dz.PCIeShare(p, dzB.Total()),
+		})
+	}
+	return rows
+}
+
+// Fig11Row is one packet size's latency breakdown for the three
+// architectures (the three panels of Fig. 11).
+type Fig11Row struct {
+	Size    int
+	DNIC    stats.Breakdown
+	INIC    stats.Breakdown
+	NetDIMM stats.Breakdown
+}
+
+// ReductionVsDNIC returns NetDIMM's relative latency reduction.
+func (r Fig11Row) ReductionVsDNIC() float64 {
+	return stats.Reduction(r.DNIC.Total(), r.NetDIMM.Total())
+}
+
+// ReductionVsINIC returns NetDIMM's relative latency reduction over iNIC.
+func (r Fig11Row) ReductionVsINIC() float64 {
+	return stats.Reduction(r.INIC.Total(), r.NetDIMM.Total())
+}
+
+// Fig11 reproduces the central latency experiment: per-component one-way
+// latency for dNIC, iNIC and NetDIMM across packet sizes. Each size uses
+// fresh machines so bank and cache state do not leak across rows; seeds
+// vary per side so TX and RX devices differ.
+func Fig11(sizes []int, switchLatency sim.Time) ([]Fig11Row, error) {
+	fabric := ethernet.NewFabric(switchLatency)
+	rows := make([]Fig11Row, 0, len(sizes))
+	for i, size := range sizes {
+		p := nic.Packet{Size: size}
+		ndTX, err := driver.NewNetDIMMMachine(uint64(2*i + 1))
+		if err != nil {
+			return nil, err
+		}
+		ndRX, err := driver.NewNetDIMMMachine(uint64(2*i + 2))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig11Row{
+			Size:    size,
+			DNIC:    driver.OneWay(driver.NewDNICMachine(false), driver.NewDNICMachine(false), p, fabric),
+			INIC:    driver.OneWay(driver.NewINICMachine(false), driver.NewINICMachine(false), p, fabric),
+			NetDIMM: driver.OneWay(ndTX, ndRX, p, fabric),
+		})
+	}
+	return rows, nil
+}
+
+// AverageReduction computes the mean relative reduction of NetDIMM vs the
+// selected baseline over the rows (the paper's "on average 49.9% vs PCIe
+// NIC, 25.9% vs integrated NIC").
+func AverageReduction(rows []Fig11Row, vsINIC bool) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rows {
+		if vsINIC {
+			sum += r.ReductionVsINIC()
+		} else {
+			sum += r.ReductionVsDNIC()
+		}
+	}
+	return sum / float64(len(rows))
+}

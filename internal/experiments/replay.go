@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"netdimm/internal/driver"
+	"netdimm/internal/ethernet"
+	"netdimm/internal/sim"
+	"netdimm/internal/stats"
+	"netdimm/internal/trace"
+	"netdimm/internal/workload"
+)
+
+// ReplayResult summarises one architecture's run over a recorded trace.
+type ReplayResult struct {
+	Arch    string
+	Packets int
+	Mean    sim.Time
+	P50     sim.Time
+	P99     sim.Time
+}
+
+// ReplayTrace runs a recorded packet trace (from cmd/netdimm-trace, or any
+// events slice) through the clos fabric under all three architectures and
+// reports per-packet one-way latency statistics — the file-driven variant
+// of Fig. 12(a).
+func ReplayTrace(events []workload.Event, switchLatency sim.Time, seed uint64) ([]ReplayResult, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("experiments: empty trace")
+	}
+	fabric := ethernet.NewFabric(switchLatency)
+	fabric.Switch.CutThrough = false
+
+	ndTX, err := driver.NewNetDIMMMachine(seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	ndRX, err := driver.NewNetDIMMMachine(seed + 2)
+	if err != nil {
+		return nil, err
+	}
+	dn := driver.NewDNICMachine(false)
+	in := driver.NewINICMachine(false)
+
+	hists := map[string]*stats.Histogram{
+		"dNIC": {}, "iNIC": {}, "NetDIMM": {},
+	}
+	for i, e := range events {
+		p := e.Packet(uint64(i))
+		wire := fabric.WireTime(e.Size, e.Locality)
+		hists["dNIC"].Observe(dn.TX(p).Total() + wire + dn.RX(p).Total())
+		hists["iNIC"].Observe(in.TX(p).Total() + wire + in.RX(p).Total())
+		hists["NetDIMM"].Observe(ndTX.TX(p).Total() + wire + ndRX.RX(p).Total())
+	}
+	var out []ReplayResult
+	for _, name := range []string{"dNIC", "iNIC", "NetDIMM"} {
+		h := hists[name]
+		out = append(out, ReplayResult{
+			Arch:    name,
+			Packets: h.Count(),
+			Mean:    h.Mean(),
+			P50:     h.Percentile(50),
+			P99:     h.Percentile(99),
+		})
+	}
+	return out, nil
+}
+
+// ReplayTraceFile reads a trace stream and replays it.
+func ReplayTraceFile(r io.Reader, switchLatency sim.Time, seed uint64) (trace.Header, []ReplayResult, error) {
+	h, events, err := trace.Read(r)
+	if err != nil {
+		return trace.Header{}, nil, err
+	}
+	res, err := ReplayTrace(events, switchLatency, seed)
+	return h, res, err
+}

@@ -1,0 +1,111 @@
+package kalloc
+
+import (
+	"fmt"
+
+	"netdimm/internal/addrmap"
+)
+
+// AllocCache is the NetDIMM driver's pre-allocation hash table (paper
+// Sec. 4.2.2): it keeps PerSubarray pages from every distinct (rank, bank,
+// sub-array) ready, so on-demand DMA-buffer allocation returns a
+// sub-array-affine page immediately instead of walking the allocator on the
+// packet critical path. The driver refills it concurrently in the
+// background; in the simulation, Refill is invoked from a scheduled
+// maintenance event.
+type AllocCache struct {
+	zone        *Zone
+	perSubarray int
+	cache       map[addrmap.SubarrayKey][]int64
+
+	hits, slow uint64
+}
+
+// NewAllocCache builds and pre-fills the cache with perSubarray pages per
+// bucket. With the paper's defaults (2 pages x 8K sub-arrays x 2 ranks)
+// this pins 32K pages = 128MB, 0.8% of a 16GB NetDIMM.
+func NewAllocCache(zone *Zone, perSubarray int) (*AllocCache, error) {
+	if zone.Kind != ZoneNetDIMM {
+		return nil, fmt.Errorf("kalloc: allocCache requires a NetDIMM zone, got %s", zone.Name)
+	}
+	if perSubarray <= 0 {
+		return nil, fmt.Errorf("kalloc: perSubarray must be positive, got %d", perSubarray)
+	}
+	c := &AllocCache{
+		zone:        zone,
+		perSubarray: perSubarray,
+		cache:       make(map[addrmap.SubarrayKey][]int64, zone.Buckets()),
+	}
+	if err := c.Refill(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// PinnedPages returns the number of pages currently held by the cache.
+func (c *AllocCache) PinnedPages() int {
+	n := 0
+	for _, pages := range c.cache {
+		n += len(pages)
+	}
+	return n
+}
+
+// Stats returns fast-path hits and slow-path fallbacks.
+func (c *AllocCache) Stats() (hits, slowPath uint64) { return c.hits, c.slow }
+
+// Get returns a page in the same sub-array as hint (a physical address in
+// the zone), or any page for NoHint. fast reports whether the page came
+// from the cache (O(1) hash lookup) rather than the allocator slow path.
+func (c *AllocCache) Get(hint int64) (addr int64, fast bool, err error) {
+	if hint != NoHint {
+		key, kerr := c.zone.SubarrayKeyOf(hint)
+		if kerr != nil {
+			return 0, false, kerr
+		}
+		if pages := c.cache[key]; len(pages) > 0 {
+			addr = pages[len(pages)-1]
+			c.cache[key] = pages[:len(pages)-1]
+			c.hits++
+			return addr, true, nil
+		}
+	} else {
+		// No affinity requirement: serve from any non-empty bucket.
+		for key, pages := range c.cache {
+			if len(pages) > 0 {
+				addr = pages[len(pages)-1]
+				c.cache[key] = pages[:len(pages)-1]
+				c.hits++
+				return addr, true, nil
+			}
+		}
+	}
+	// Slow path: __alloc_netdimm_pages directly.
+	c.slow++
+	addr, err = c.zone.AllocPageHint(hint)
+	return addr, false, err
+}
+
+// Refill tops every bucket back up to perSubarray pages (the background
+// maintenance the driver runs off the critical path). Buckets whose
+// sub-array is exhausted are skipped — Get then falls back to the
+// allocator's best-effort path.
+func (c *AllocCache) Refill() error {
+	for key := 0; key < c.zone.Buckets(); key++ {
+		k := addrmap.SubarrayKey(key)
+		for len(c.cache[k]) < c.perSubarray {
+			addr := c.zone.allocFromBucket(key)
+			if addr < 0 {
+				break
+			}
+			c.zone.allocated[addr] = true
+			c.zone.stats.Allocs++
+			c.cache[k] = append(c.cache[k], addr)
+		}
+	}
+	return nil
+}
+
+// Release returns a previously allocated page to the zone (e.g. after the
+// SKB is consumed); the page becomes available to future refills.
+func (c *AllocCache) Release(addr int64) error { return c.zone.FreePage(addr) }

@@ -1,0 +1,247 @@
+// Package kalloc models the Linux kernel physical-page allocator as the
+// paper extends it: memory zones including the per-NetDIMM NET_i zones, the
+// __alloc_netdimm_pages(zone, hint) API that allocates a page in the same
+// bank sub-array as a hint address, and the allocCache pre-allocation hash
+// table the NetDIMM driver uses to keep DMA-buffer allocation off the
+// packet critical path (paper Sec. 4.2.1 and 4.2.2).
+package kalloc
+
+import (
+	"fmt"
+
+	"netdimm/internal/addrmap"
+)
+
+// NoHint requests a page with no sub-array affinity — the paper's
+// __alloc_netdimm_pages(zone, -1).
+const NoHint int64 = -1
+
+// ZoneKind distinguishes ordinary kernel zones from NetDIMM zones.
+type ZoneKind int
+
+const (
+	// ZoneNormal models ZONE_NORMAL: regularly mapped host pages.
+	ZoneNormal ZoneKind = iota
+	// ZoneNetDIMM models a NET_i zone: the local DRAM of NetDIMM i,
+	// organised by (rank, bank, sub-array) for affine allocation.
+	ZoneNetDIMM
+)
+
+// Zone is one contiguous physical memory zone with page-granular
+// allocation.
+type Zone struct {
+	Name string
+	Kind ZoneKind
+	Base int64 // first physical address
+	Size int64
+
+	// ZoneNormal bookkeeping: bump pointer + free list.
+	bump  int64
+	freed []int64
+
+	// ZoneNetDIMM bookkeeping: per-(rank,bank,sub-array) buckets. Each
+	// bucket hands out its pages lazily (fresh counter) and recycles via a
+	// free list.
+	buckets []subBucket
+	ranks   int
+
+	allocated map[int64]bool
+	stats     ZoneStats
+}
+
+// ZoneStats counts allocator events.
+type ZoneStats struct {
+	Allocs        uint64
+	Frees         uint64
+	HintSatisfied uint64
+	HintFallback  uint64 // hint given but the sub-array was exhausted
+	Failures      uint64
+}
+
+type subBucket struct {
+	fresh int // next fresh page index in [0, pagesPerBucket)
+	freed []int64
+}
+
+// pagesPerBucket is the number of 4KB pages per (bank, sub-array) pair:
+// 128 rows x 2 half-row pages.
+const pagesPerBucket = addrmap.RowsPerSubarray * 2
+
+// NewNormalZone returns a ZONE_NORMAL-style zone over [base, base+size).
+func NewNormalZone(name string, base, size int64) *Zone {
+	mustPageAligned(base, size)
+	return &Zone{
+		Name: name, Kind: ZoneNormal, Base: base, Size: size,
+		allocated: make(map[int64]bool),
+	}
+}
+
+// NewNetDIMMZone returns a NET_i zone over the NetDIMM's local memory. The
+// size must be a whole number of 8GB ranks (paper Fig. 9a geometry).
+func NewNetDIMMZone(name string, base, size int64) *Zone {
+	mustPageAligned(base, size)
+	if size%addrmap.RankBytes != 0 {
+		panic(fmt.Sprintf("kalloc: NetDIMM zone size %d not a multiple of the 8GB rank", size))
+	}
+	ranks := int(size / addrmap.RankBytes)
+	return &Zone{
+		Name: name, Kind: ZoneNetDIMM, Base: base, Size: size,
+		buckets:   make([]subBucket, ranks*addrmap.SubarraysPerRank),
+		ranks:     ranks,
+		allocated: make(map[int64]bool),
+	}
+}
+
+func mustPageAligned(base, size int64) {
+	if base%addrmap.PageSize != 0 || size <= 0 || size%addrmap.PageSize != 0 {
+		panic(fmt.Sprintf("kalloc: zone base %#x / size %#x not page aligned", base, size))
+	}
+}
+
+// Stats returns a copy of the zone statistics.
+func (z *Zone) Stats() ZoneStats { return z.stats }
+
+// Contains reports whether the physical address belongs to the zone.
+func (z *Zone) Contains(phys int64) bool { return phys >= z.Base && phys < z.Base+z.Size }
+
+// FreePages returns the number of currently unallocated pages.
+func (z *Zone) FreePages() int64 {
+	return z.Size/addrmap.PageSize - int64(len(z.allocated))
+}
+
+// AllocPage allocates one page with no affinity requirement. It returns the
+// physical address of the page.
+func (z *Zone) AllocPage() (int64, error) {
+	return z.AllocPageHint(NoHint)
+}
+
+// AllocPageHint implements __alloc_netdimm_pages(zone, hint): it allocates
+// one page, preferring the same (rank, bank, sub-array) as the hint
+// address. The API is best effort (paper Sec. 4.2.1): when the hinted
+// sub-array has no free page, any free page in the zone is returned.
+func (z *Zone) AllocPageHint(hint int64) (int64, error) {
+	var addr int64 = -1
+	switch z.Kind {
+	case ZoneNormal:
+		addr = z.allocNormal()
+	case ZoneNetDIMM:
+		if hint != NoHint {
+			if !z.Contains(hint) {
+				return 0, fmt.Errorf("kalloc: hint %#x outside zone %s", hint, z.Name)
+			}
+			key := addrmap.SubarrayOf(hint - z.Base)
+			addr = z.allocFromBucket(int(key))
+			if addr >= 0 {
+				z.stats.HintSatisfied++
+			} else {
+				z.stats.HintFallback++
+			}
+		}
+		if addr < 0 {
+			addr = z.allocAnyBucket()
+		}
+	}
+	if addr < 0 {
+		z.stats.Failures++
+		return 0, fmt.Errorf("kalloc: zone %s exhausted", z.Name)
+	}
+	z.allocated[addr] = true
+	z.stats.Allocs++
+	return addr, nil
+}
+
+func (z *Zone) allocNormal() int64 {
+	if n := len(z.freed); n > 0 {
+		a := z.freed[n-1]
+		z.freed = z.freed[:n-1]
+		return a
+	}
+	if z.bump >= z.Size {
+		return -1
+	}
+	a := z.Base + z.bump
+	z.bump += addrmap.PageSize
+	return a
+}
+
+// allocFromBucket returns a free page of bucket key, or -1.
+func (z *Zone) allocFromBucket(key int) int64 {
+	b := &z.buckets[key]
+	if n := len(b.freed); n > 0 {
+		a := b.freed[n-1]
+		b.freed = b.freed[:n-1]
+		return a
+	}
+	if b.fresh >= pagesPerBucket {
+		return -1
+	}
+	a := z.bucketPage(key, b.fresh)
+	b.fresh++
+	return a
+}
+
+func (z *Zone) allocAnyBucket() int64 {
+	for key := range z.buckets {
+		if a := z.allocFromBucket(key); a >= 0 {
+			return a
+		}
+	}
+	return -1
+}
+
+// bucketPage computes the physical address of page idx within bucket key,
+// inverting the SubarrayKey layout: key = (rank*16 + bank)*512 + subarray.
+func (z *Zone) bucketPage(key, idx int) int64 {
+	sub := key % addrmap.SubarraysPerBank
+	bank := (key / addrmap.SubarraysPerBank) % addrmap.BanksPerRank
+	rank := key / addrmap.SubarraysPerRank
+	loc := addrmap.Location{
+		Rank:     rank,
+		Bank:     bank,
+		Subarray: sub,
+		Row:      idx >> 1,
+		Column:   int64(idx&1) << addrmap.PageShift,
+	}
+	return z.Base + addrmap.EncodeRank(loc)
+}
+
+// FreePage returns a page to the zone. Double frees and foreign pages are
+// reported as errors.
+func (z *Zone) FreePage(addr int64) error {
+	if !z.Contains(addr) {
+		return fmt.Errorf("kalloc: freeing %#x outside zone %s", addr, z.Name)
+	}
+	if addr%addrmap.PageSize != 0 {
+		return fmt.Errorf("kalloc: freeing unaligned address %#x", addr)
+	}
+	if !z.allocated[addr] {
+		return fmt.Errorf("kalloc: double free of %#x in zone %s", addr, z.Name)
+	}
+	delete(z.allocated, addr)
+	z.stats.Frees++
+	switch z.Kind {
+	case ZoneNormal:
+		z.freed = append(z.freed, addr)
+	case ZoneNetDIMM:
+		key := addrmap.SubarrayOf(addr - z.Base)
+		b := &z.buckets[key]
+		b.freed = append(b.freed, addr)
+	}
+	return nil
+}
+
+// SubarrayKeyOf returns the allocCache bucket key of a physical address in
+// a NetDIMM zone.
+func (z *Zone) SubarrayKeyOf(phys int64) (addrmap.SubarrayKey, error) {
+	if z.Kind != ZoneNetDIMM {
+		return 0, fmt.Errorf("kalloc: zone %s has no sub-array structure", z.Name)
+	}
+	if !z.Contains(phys) {
+		return 0, fmt.Errorf("kalloc: %#x outside zone %s", phys, z.Name)
+	}
+	return addrmap.SubarrayOf(phys - z.Base), nil
+}
+
+// Buckets returns the number of (rank, bank, sub-array) buckets — 8K per
+// rank (paper Sec. 4.2.2).
+func (z *Zone) Buckets() int { return len(z.buckets) }

@@ -1,0 +1,105 @@
+// Package membank is the functional (data-carrying) half of the memory
+// model: a sparse, page-granular byte store for a DIMM's local address
+// space. The timing models elsewhere say *when* data moves; membank says
+// *what* moved, so tests can assert end-to-end data integrity — a packet
+// DMA-written by the nNIC, cloned by the RowClone engine, and read back by
+// the host must come out byte-identical.
+package membank
+
+import (
+	"fmt"
+
+	"netdimm/internal/addrmap"
+)
+
+// Store is a sparse byte-addressable memory. Unwritten bytes read as zero.
+// The zero value is ready to use.
+type Store struct {
+	pages map[int64][]byte
+	// writes and reads count bytes moved, for accounting tests.
+	bytesWritten int64
+	bytesRead    int64
+}
+
+// New returns an empty store.
+func New() *Store { return &Store{pages: make(map[int64][]byte)} }
+
+func (s *Store) page(base int64, create bool) []byte {
+	if s.pages == nil {
+		s.pages = make(map[int64][]byte)
+	}
+	p, ok := s.pages[base]
+	if !ok && create {
+		p = make([]byte, addrmap.PageSize)
+		s.pages[base] = p
+	}
+	return p
+}
+
+// Write stores data at addr, spanning pages as needed. Negative addresses
+// are rejected.
+func (s *Store) Write(addr int64, data []byte) error {
+	if addr < 0 {
+		return fmt.Errorf("membank: negative address %d", addr)
+	}
+	s.bytesWritten += int64(len(data))
+	for len(data) > 0 {
+		base := addr &^ (addrmap.PageSize - 1)
+		off := addr - base
+		p := s.page(base, true)
+		n := copy(p[off:], data)
+		data = data[n:]
+		addr += int64(n)
+	}
+	return nil
+}
+
+// Read returns n bytes starting at addr. Unwritten regions are zero.
+func (s *Store) Read(addr int64, n int) ([]byte, error) {
+	if addr < 0 || n < 0 {
+		return nil, fmt.Errorf("membank: invalid read addr=%d n=%d", addr, n)
+	}
+	s.bytesRead += int64(n)
+	out := make([]byte, n)
+	dst := out
+	for len(dst) > 0 {
+		base := addr &^ (addrmap.PageSize - 1)
+		off := addr - base
+		span := int(addrmap.PageSize - off)
+		if span > len(dst) {
+			span = len(dst)
+		}
+		if p := s.page(base, false); p != nil {
+			copy(dst[:span], p[off:])
+		}
+		dst = dst[span:]
+		addr += int64(span)
+	}
+	return out, nil
+}
+
+// Clone copies n bytes from src to dst — the functional effect of a
+// RowClone operation (any mode: FPM/PSM/GCM all produce the same bytes).
+// Overlapping ranges copy through an intermediate buffer, matching the
+// engine's read-then-write behaviour.
+func (s *Store) Clone(dst, src int64, n int) error {
+	if n < 0 {
+		return fmt.Errorf("membank: negative clone length %d", n)
+	}
+	data, err := s.Read(src, n)
+	if err != nil {
+		return err
+	}
+	return s.Write(dst, data)
+}
+
+// Zero clears n bytes at addr (RowClone's bulk-initialisation use).
+func (s *Store) Zero(addr int64, n int) error {
+	return s.Write(addr, make([]byte, n))
+}
+
+// PagesResident returns how many distinct pages hold data.
+func (s *Store) PagesResident() int { return len(s.pages) }
+
+// Traffic returns total bytes written and read through the store.
+func (s *Store) Traffic() (written, read int64) { return s.bytesWritten, s.bytesRead }

@@ -1,0 +1,170 @@
+package membank
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"netdimm/internal/addrmap"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := New()
+	data := []byte("hello netdimm")
+	if err := s.Write(100, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(100, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	s := New()
+	got, err := s.Read(1<<30, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten memory not zero")
+		}
+	}
+	if s.PagesResident() != 0 {
+		t.Fatal("read should not materialise pages")
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	s := New()
+	addr := addrmap.PageSize - 5
+	data := []byte("0123456789")
+	if err := s.Write(addr, data); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Read(addr, len(data))
+	if !bytes.Equal(got, data) {
+		t.Fatalf("cross-page round trip failed: %q", got)
+	}
+	if s.PagesResident() != 2 {
+		t.Fatalf("PagesResident = %d, want 2", s.PagesResident())
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := New()
+	payload := bytes.Repeat([]byte{0xAB, 0xCD}, 757) // 1514B
+	s.Write(0x1000, payload)
+	if err := s.Clone(0x200000, 0x1000, len(payload)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Read(0x200000, len(payload))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("clone corrupted data")
+	}
+	// Source intact.
+	src, _ := s.Read(0x1000, len(payload))
+	if !bytes.Equal(src, payload) {
+		t.Fatal("clone damaged source")
+	}
+}
+
+func TestCloneOverlapping(t *testing.T) {
+	s := New()
+	s.Write(0, []byte("abcdefgh"))
+	if err := s.Clone(4, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Read(4, 8)
+	if string(got) != "abcdefgh" {
+		t.Fatalf("overlapping clone = %q, want snapshot semantics", got)
+	}
+}
+
+func TestZero(t *testing.T) {
+	s := New()
+	s.Write(64, []byte{1, 2, 3, 4})
+	s.Zero(64, 4)
+	got, _ := s.Read(64, 4)
+	if !bytes.Equal(got, []byte{0, 0, 0, 0}) {
+		t.Fatal("Zero did not clear")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := New()
+	if err := s.Write(-1, []byte{1}); err == nil {
+		t.Error("negative write accepted")
+	}
+	if _, err := s.Read(-1, 4); err == nil {
+		t.Error("negative read accepted")
+	}
+	if _, err := s.Read(0, -4); err == nil {
+		t.Error("negative length accepted")
+	}
+	if err := s.Clone(0, 0, -1); err == nil {
+		t.Error("negative clone accepted")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	s := New()
+	s.Write(0, make([]byte, 100))
+	s.Read(0, 50)
+	w, r := s.Traffic()
+	if w != 100 || r != 50 {
+		t.Fatalf("traffic = %d/%d", w, r)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Store
+	if err := s.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Read(0, 1)
+	if got[0] != 1 {
+		t.Fatal("zero-value store broken")
+	}
+}
+
+// Property: the store behaves like a flat byte array.
+func TestStoreVsFlatModelProperty(t *testing.T) {
+	const span = 3 * 4096
+	f := func(ops []struct {
+		Addr uint16
+		Data []byte
+	}) bool {
+		s := New()
+		flat := make([]byte, span+1<<16+256)
+		for _, op := range ops {
+			data := op.Data
+			if len(data) > 200 {
+				data = data[:200]
+			}
+			addr := int64(op.Addr)
+			if err := s.Write(addr, data); err != nil {
+				return false
+			}
+			copy(flat[addr:], data)
+		}
+		// Compare a few windows.
+		for _, at := range []int64{0, 4090, 8192, 300} {
+			got, err := s.Read(at, 64)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, flat[at:at+64]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package nvdimmp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netdimm/internal/sim"
+)
+
+func TestOverheads(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.ReadOverhead() != tm.XRD+tm.RDYToSend+tm.SendToData+tm.Burst {
+		t.Fatal("ReadOverhead composition wrong")
+	}
+	if tm.WriteOverhead() != tm.XWR {
+		t.Fatal("WriteOverhead wrong")
+	}
+	if tm.ReadLatency(50*sim.Nanosecond) != tm.ReadOverhead()+50*sim.Nanosecond {
+		t.Fatal("ReadLatency composition wrong")
+	}
+	// Protocol overhead should be tens of ns, small next to PCIe round
+	// trips — that is the design point.
+	if tm.ReadOverhead() > 100*sim.Nanosecond {
+		t.Fatalf("ReadOverhead = %v, implausibly large", tm.ReadOverhead())
+	}
+}
+
+func TestIssueReadyComplete(t *testing.T) {
+	tr := NewTracker(DefaultTiming(), 8)
+	tx, err := tr.Issue(100, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Outstanding() != 1 {
+		t.Fatalf("Outstanding = %d", tr.Outstanding())
+	}
+	if err := tr.Ready(tx.ID, 150); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.Complete(tx.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != 0x1000 || got.Issued != 100 || got.ReadyAt != 150 {
+		t.Fatalf("transaction = %+v", got)
+	}
+	if tr.Outstanding() != 0 {
+		t.Fatal("transaction not retired")
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	tr := NewTracker(DefaultTiming(), 2)
+	tx, _ := tr.Issue(0, 0)
+	if err := tr.Ready(99, 10); err == nil {
+		t.Error("RDY for unknown ID accepted")
+	}
+	if _, err := tr.Complete(tx.ID); err == nil {
+		t.Error("SEND before RDY accepted")
+	}
+	tr.Ready(tx.ID, 10)
+	if err := tr.Ready(tx.ID, 20); err == nil {
+		t.Error("duplicate RDY accepted")
+	}
+	tr.Complete(tx.ID)
+	if _, err := tr.Complete(tx.ID); err == nil {
+		t.Error("double completion accepted")
+	}
+}
+
+func TestIDExhaustion(t *testing.T) {
+	tr := NewTracker(DefaultTiming(), 3)
+	for i := 0; i < 3; i++ {
+		if _, err := tr.Issue(sim.Time(i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tr.Issue(10, 10); err == nil {
+		t.Fatal("ID exhaustion not detected")
+	}
+}
+
+func TestOutOfOrderCompletion(t *testing.T) {
+	tr := NewTracker(DefaultTiming(), 8)
+	a, _ := tr.Issue(0, 0)
+	b, _ := tr.Issue(10, 64)
+	tr.Ready(a.ID, 100)
+	tr.Ready(b.ID, 50)
+	// Complete the younger first: out of order.
+	if _, err := tr.Complete(b.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Complete(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	issued, completed, ooo := tr.Stats()
+	if issued != 2 || completed != 2 {
+		t.Fatalf("stats = %d/%d", issued, completed)
+	}
+	if ooo != 1 {
+		t.Fatalf("out-of-order count = %d, want 1", ooo)
+	}
+}
+
+func TestIDReuseAfterRetire(t *testing.T) {
+	tr := NewTracker(DefaultTiming(), 1)
+	for i := 0; i < 100; i++ {
+		tx, err := tr.Issue(sim.Time(i), int64(i))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		tr.Ready(tx.ID, sim.Time(i))
+		tr.Complete(tx.ID)
+	}
+	_, completed, _ := tr.Stats()
+	if completed != 100 {
+		t.Fatalf("completed = %d", completed)
+	}
+}
+
+// Property: the tracker never exceeds its ID budget and every successfully
+// issued transaction can be retired exactly once.
+func TestTrackerInvariantProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		tr := NewTracker(DefaultTiming(), 4)
+		var open []RequestID
+		now := sim.Time(0)
+		for _, op := range ops {
+			now += sim.Time(op)
+			if op%2 == 0 {
+				if tx, err := tr.Issue(now, int64(op)); err == nil {
+					tr.Ready(tx.ID, now)
+					open = append(open, tx.ID)
+				}
+			} else if len(open) > 0 {
+				pick := int(op) % len(open)
+				id := open[pick]
+				open = append(open[:pick], open[pick+1:]...)
+				if _, err := tr.Complete(id); err != nil {
+					return false
+				}
+			}
+			if tr.Outstanding() > 4 {
+				return false
+			}
+		}
+		return tr.Outstanding() == len(open)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroBudgetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero budget accepted")
+		}
+	}()
+	NewTracker(DefaultTiming(), 0)
+}

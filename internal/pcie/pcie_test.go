@@ -1,0 +1,156 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netdimm/internal/sim"
+)
+
+func TestRawBandwidth(t *testing.T) {
+	g3x8 := NewLink(Gen3, 8)
+	// ~7.88 GB/s for Gen3 x8.
+	if bw := g3x8.RawBandwidth(); bw < 7.8e9 || bw > 8.0e9 {
+		t.Fatalf("Gen3 x8 raw = %.2e B/s", bw)
+	}
+	g4x16 := NewLink(Gen4, 16)
+	// The paper quotes ~31.51GB/s theoretical for Gen4 x16 (Sec. 1).
+	if bw := g4x16.RawBandwidth(); bw < 31.0e9 || bw > 32.0e9 {
+		t.Fatalf("Gen4 x16 raw = %.2e B/s, want ~31.5GB/s", bw)
+	}
+	// Gen4 doubles Gen3 per lane.
+	r := NewLink(Gen4, 8).RawBandwidth() / g3x8.RawBandwidth()
+	if r < 1.99 || r > 2.01 {
+		t.Fatalf("Gen4/Gen3 ratio = %v", r)
+	}
+}
+
+func TestEffectiveBandwidthBelowRaw(t *testing.T) {
+	l := NewLink(Gen4, 8)
+	if l.EffectiveBandwidth(256) >= l.RawBandwidth() {
+		t.Fatal("effective bandwidth must pay TLP overhead")
+	}
+	// Small payloads waste more of the link.
+	if l.EffectiveBandwidth(64) >= l.EffectiveBandwidth(256) {
+		t.Fatal("small payloads should be less efficient")
+	}
+	// Payload above MaxPayload clamps.
+	if l.EffectiveBandwidth(4096) != l.EffectiveBandwidth(l.MaxPayload) {
+		t.Fatal("payload should clamp at MaxPayload")
+	}
+	if l.EffectiveBandwidth(0) <= 0 {
+		t.Fatal("degenerate payload should still return positive bandwidth")
+	}
+}
+
+// Calibration to [59]: a 64B read round trip lands in the several-hundred-
+// nanosecond range, far above a DDR access (~50ns), which is the whole
+// motivation of the paper.
+func TestReadRoundTripMagnitude(t *testing.T) {
+	l := NewLink(Gen3, 8)
+	rt := l.ReadRoundTrip(64)
+	if rt < 300*sim.Nanosecond || rt > 1100*sim.Nanosecond {
+		t.Fatalf("64B read RT = %v, want 0.3-1.1us per [59]", rt)
+	}
+	if w := l.PostedWrite(8); w >= rt/2 {
+		t.Fatalf("posted write %v should be well below read RT %v", w, rt)
+	}
+}
+
+func TestPostedWriteComponents(t *testing.T) {
+	l := NewLink(Gen4, 8)
+	small := l.PostedWrite(8)
+	big := l.PostedWrite(256)
+	if big <= small {
+		t.Fatal("larger write should take longer (serialization)")
+	}
+	if small <= l.StackLatency {
+		t.Fatal("posted write must include serialization on top of stack latency")
+	}
+}
+
+func TestDMAStreamScaling(t *testing.T) {
+	l := NewLink(Gen4, 8)
+	w1 := l.DMAWrite(1500)
+	w4 := l.DMAWrite(6000)
+	// Streaming: 4x bytes adds roughly 4x the stream time on top of the
+	// fixed latency.
+	extra1 := w1 - l.StackLatency
+	extra4 := w4 - l.StackLatency
+	ratio := float64(extra4) / float64(extra1)
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Fatalf("stream scaling = %v, want ~4", ratio)
+	}
+	// A read costs a round trip more than a write of the same size.
+	if l.DMARead(1500) <= l.DMAWrite(1500) {
+		t.Fatal("DMA read must cost more than DMA write")
+	}
+}
+
+// The paper's Fig. 4 premise (Sec. 3): moving a 4KB page over x8 PCIe
+// (~2us with per-TLP turnarounds; under 1us with pipelined completions)
+// is several times slower than the ~200-320ns of a DDR4 channel.
+func TestPageTransferVsMemoryChannel(t *testing.T) {
+	l := NewLink(Gen3, 8)
+	pg := l.DMARead(4096)
+	if pg < 700*sim.Nanosecond || pg > 3*sim.Microsecond {
+		t.Fatalf("4KB DMA read = %v, want ~0.9-2us (paper Sec. 3)", pg)
+	}
+	ddr4Page := sim.Time(float64(4096) / 12.8e9 * float64(sim.Second))
+	if pg < 2*ddr4Page {
+		t.Fatalf("PCIe page move %v should be several times a DDR4 page move %v", pg, ddr4Page)
+	}
+}
+
+func TestTLPChunking(t *testing.T) {
+	l := NewLink(Gen3, 8)
+	if l.tlpCount(0) != 1 || l.tlpCount(1) != 1 || l.tlpCount(256) != 1 || l.tlpCount(257) != 2 {
+		t.Fatal("tlpCount wrong")
+	}
+	if l.lastTLP(256) != 256 || l.lastTLP(300) != 44 || l.lastTLP(0) != 0 {
+		t.Fatal("lastTLP wrong")
+	}
+}
+
+// Property: all latencies are positive and monotonic in transfer size.
+func TestMonotonicProperty(t *testing.T) {
+	l := NewLink(Gen4, 8)
+	f := func(a, b uint16) bool {
+		x, y := int(a), int(b)
+		if x > y {
+			x, y = y, x
+		}
+		return l.PostedWrite(x) <= l.PostedWrite(y) &&
+			l.ReadRoundTrip(x) <= l.ReadRoundTrip(y) &&
+			l.DMAWrite(x) <= l.DMAWrite(y) &&
+			l.DMARead(x) <= l.DMARead(y) &&
+			l.PostedWrite(x) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero lanes accepted")
+		}
+	}()
+	NewLink(Gen3, 0)
+}
+
+func TestUnsupportedGenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsupported gen accepted")
+		}
+	}()
+	Gen(7).perLaneBytesPerSec()
+}
+
+func TestString(t *testing.T) {
+	if s := NewLink(Gen4, 8).String(); s != "PCIe Gen4 x8" {
+		t.Fatalf("String = %q", s)
+	}
+}

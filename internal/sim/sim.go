@@ -1,0 +1,212 @@
+// Package sim provides the discrete-event simulation kernel that every
+// architectural model in this repository runs on.
+//
+// The kernel is deliberately small: a picosecond-resolution clock, a binary
+// heap of pending events, and deterministic tie-breaking (events scheduled
+// for the same instant fire in the order they were scheduled). Determinism
+// matters because the experiments in internal/experiments assert quantitative
+// relationships between runs; two simulations built from the same seed must
+// produce identical event interleavings.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated instant or duration in integer picoseconds.
+//
+// Picoseconds keep DDR timing exact: a DDR4-2400 clock period is 833ps,
+// which a nanosecond clock could not represent without rounding drift.
+type Time int64
+
+// Convenient duration units.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable instant; used as "never".
+const MaxTime Time = math.MaxInt64
+
+// Nanoseconds returns t as a float64 nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Microseconds returns t as a float64 microsecond count.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Seconds returns t as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with an adaptive unit, e.g. "1.234us".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.3fns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", t.Microseconds())
+	default:
+		return fmt.Sprintf("%.6fs", t.Seconds())
+	}
+}
+
+// FromNanos converts a float64 nanosecond count to a Time, rounding to the
+// nearest picosecond.
+func FromNanos(ns float64) Time { return Time(math.Round(ns * float64(Nanosecond))) }
+
+// Event is a scheduled callback. The zero Event is invalid.
+type event struct {
+	when Time
+	seq  uint64 // tie-breaker: schedule order
+	fn   func()
+	id   EventID
+	dead bool // cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// Engines are not safe for concurrent use; all model components attached to
+// an Engine must schedule and run on the same goroutine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	nextID  EventID
+	live    map[EventID]*event
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{live: make(map[EventID]*event)}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled and not cancelled.
+func (e *Engine) Pending() int { return len(e.live) }
+
+// Schedule runs fn after delay. A negative delay is an error in the caller;
+// it panics because it would corrupt causality.
+func (e *Engine) Schedule(delay Time, fn func()) EventID {
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at the absolute instant when. Scheduling in the past panics.
+func (e *Engine) At(when Time, fn func()) EventID {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e.nextID++
+	ev := &event{when: when, seq: e.nextSeq, fn: fn, id: e.nextID}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	e.live[ev.id] = ev
+	return ev.id
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op returning false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev, ok := e.live[id]
+	if !ok {
+		return false
+	}
+	ev.dead = true
+	delete(e.live, id)
+	return true
+}
+
+// Stop makes the current Run/RunUntil call return after the in-flight event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the earliest event. It reports false if none remain.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		delete(e.live, ev.id)
+		e.now = ev.when
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the clock
+// to exactly deadline when it returns (even if the queue drained earlier or
+// the next event lies beyond the deadline).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.peek()
+		if ev == nil || ev.when > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) peek() *event {
+	for len(e.queue) > 0 {
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}

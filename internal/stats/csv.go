@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"strings"
+)
+
+// CSV renders a header and rows as an RFC-4180-ish CSV string: fields
+// containing commas, quotes or newlines are quoted, quotes doubled. The
+// experiment CLIs use it to emit plot-ready series for every figure.
+func CSV(header []string, rows [][]string) string {
+	var sb strings.Builder
+	writeRecord(&sb, header)
+	for _, r := range rows {
+		writeRecord(&sb, r)
+	}
+	return sb.String()
+}
+
+func writeRecord(sb *strings.Builder, fields []string) {
+	for i, f := range fields {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(csvEscape(f))
+	}
+	sb.WriteByte('\n')
+}
+
+func csvEscape(f string) string {
+	if !strings.ContainsAny(f, ",\"\n\r") {
+		return f
+	}
+	return `"` + strings.ReplaceAll(f, `"`, `""`) + `"`
+}
+
+// CSVTable renders a Table as CSV.
+func (t *Table) CSV() string { return CSV(t.Header, t.Rows) }

@@ -1,0 +1,44 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVBasic(t *testing.T) {
+	got := CSV([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	want := "a,b\n1,2\n3,4\n"
+	if got != want {
+		t.Fatalf("CSV = %q", got)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	got := CSV([]string{"x"}, [][]string{
+		{`plain`},
+		{`has,comma`},
+		{`has"quote`},
+		{"has\nnewline"},
+	})
+	lines := strings.SplitN(got, "\n", 3)
+	if lines[1] != "plain" {
+		t.Fatalf("plain field quoted: %q", lines[1])
+	}
+	if !strings.Contains(got, `"has,comma"`) {
+		t.Fatal("comma field not quoted")
+	}
+	if !strings.Contains(got, `"has""quote"`) {
+		t.Fatal("quote not doubled")
+	}
+	if !strings.Contains(got, "\"has\nnewline\"") {
+		t.Fatal("newline field not quoted")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Header: []string{"size", "ns"}}
+	tb.AddRow("64", "1370")
+	if got := tb.CSV(); got != "size,ns\n64,1370\n" {
+		t.Fatalf("Table.CSV = %q", got)
+	}
+}

@@ -1,0 +1,213 @@
+// Package stats provides the measurement types the experiments report:
+// per-packet latency breakdowns matching the paper's Fig. 11 components,
+// histograms with percentiles, and small rendering helpers for the CLI and
+// EXPERIMENTS.md tables.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"netdimm/internal/sim"
+)
+
+// Component is one slice of the one-way network latency (paper Fig. 11).
+type Component string
+
+// The breakdown components of Fig. 11. txCopy/rxCopy are driver memory
+// copies and allocation; txDMA/rxDMA are NIC-side data movement; wire is
+// the physical layer; IOReg is CPU<->NIC register access; txFlush and
+// rxInvalidate are the NetDIMM driver's cache-coherency operations.
+const (
+	TxCopy       Component = "txCopy"
+	RxCopy       Component = "rxCopy"
+	TxDMA        Component = "txDMA"
+	RxDMA        Component = "rxDMA"
+	Wire         Component = "wire"
+	IOReg        Component = "I/O reg acc"
+	TxFlush      Component = "txFlush"
+	RxInvalidate Component = "rxInvalidate"
+)
+
+// Components lists every component in presentation order.
+var Components = []Component{TxCopy, RxCopy, TxDMA, RxDMA, Wire, IOReg, TxFlush, RxInvalidate}
+
+// Breakdown is a per-packet latency decomposition.
+type Breakdown map[Component]sim.Time
+
+// Add accumulates d into component c.
+func (b Breakdown) Add(c Component, d sim.Time) { b[c] += d }
+
+// Total returns the summed latency.
+func (b Breakdown) Total() sim.Time {
+	var t sim.Time
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Share returns component c's fraction of the total, in [0,1].
+func (b Breakdown) Share(c Component) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b[c]) / float64(t)
+}
+
+// Plus returns the component-wise sum of two breakdowns.
+func (b Breakdown) Plus(o Breakdown) Breakdown {
+	out := Breakdown{}
+	for c, v := range b {
+		out[c] += v
+	}
+	for c, v := range o {
+		out[c] += v
+	}
+	return out
+}
+
+// Scale returns the breakdown divided by n (for averaging).
+func (b Breakdown) Scale(n int64) Breakdown {
+	out := Breakdown{}
+	if n == 0 {
+		return out
+	}
+	for c, v := range b {
+		out[c] = v / sim.Time(n)
+	}
+	return out
+}
+
+// String renders the breakdown compactly in presentation order.
+func (b Breakdown) String() string {
+	var sb strings.Builder
+	first := true
+	for _, c := range Components {
+		v, ok := b[c]
+		if !ok || v == 0 {
+			continue
+		}
+		if !first {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%v", c, v)
+		first = false
+	}
+	fmt.Fprintf(&sb, " total=%v", b.Total())
+	return sb.String()
+}
+
+// Histogram collects latency samples for percentile reporting.
+type Histogram struct {
+	samples []sim.Time
+	sorted  bool
+	sum     sim.Time
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v sim.Time) {
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the average sample, or 0 when empty.
+func (h *Histogram) Mean() sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by
+// nearest-rank, or 0 when empty.
+func (h *Histogram) Percentile(p float64) sim.Time {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	if p <= 0 {
+		return h.samples[0]
+	}
+	if p >= 100 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(p/100*float64(len(h.samples))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(h.samples) {
+		rank = len(h.samples) - 1
+	}
+	return h.samples[rank]
+}
+
+// Min returns the smallest sample.
+func (h *Histogram) Min() sim.Time { return h.Percentile(0) }
+
+// Max returns the largest sample.
+func (h *Histogram) Max() sim.Time { return h.Percentile(100) }
+
+// Reduction returns the relative improvement of new over old as a
+// fraction: (old-new)/old. Positive means new is faster.
+func Reduction(old, new sim.Time) float64 {
+	if old == 0 {
+		return 0
+	}
+	return float64(old-new) / float64(old)
+}
+
+// Table is a simple fixed-column text table for experiment output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

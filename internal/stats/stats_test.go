@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"netdimm/internal/sim"
+)
+
+func TestBreakdownTotalAndShare(t *testing.T) {
+	b := Breakdown{}
+	b.Add(TxCopy, 100*sim.Nanosecond)
+	b.Add(Wire, 300*sim.Nanosecond)
+	b.Add(TxCopy, 100*sim.Nanosecond)
+	if b.Total() != 500*sim.Nanosecond {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	if s := b.Share(TxCopy); s != 0.4 {
+		t.Fatalf("Share(TxCopy) = %v", s)
+	}
+	if s := b.Share(RxDMA); s != 0 {
+		t.Fatalf("Share(missing) = %v", s)
+	}
+	if (Breakdown{}).Share(Wire) != 0 {
+		t.Fatal("empty breakdown share should be 0")
+	}
+}
+
+func TestBreakdownPlusScale(t *testing.T) {
+	a := Breakdown{TxCopy: 100, Wire: 200}
+	b := Breakdown{Wire: 100, RxDMA: 50}
+	c := a.Plus(b)
+	if c[TxCopy] != 100 || c[Wire] != 300 || c[RxDMA] != 50 {
+		t.Fatalf("Plus = %v", c)
+	}
+	// Plus must not mutate operands.
+	if a[Wire] != 200 || b[Wire] != 100 {
+		t.Fatal("Plus mutated an operand")
+	}
+	s := c.Scale(2)
+	if s[Wire] != 150 {
+		t.Fatalf("Scale = %v", s)
+	}
+	if len(c.Scale(0)) != 0 {
+		t.Fatal("Scale(0) should be empty")
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Wire: 300 * sim.Nanosecond, TxFlush: 80 * sim.Nanosecond}
+	s := b.String()
+	if !strings.Contains(s, "wire=") || !strings.Contains(s, "txFlush=") || !strings.Contains(s, "total=") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(sim.Time(i))
+	}
+	if h.Count() != 100 {
+		t.Fatal("count wrong")
+	}
+	if h.Mean() != 50 { // (1+...+100)/100 = 50.5 -> integer division 50
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if p := h.Percentile(50); p < 49 || p > 51 {
+		t.Fatalf("P50 = %v", p)
+	}
+	if p := h.Percentile(99); p < 98 || p > 100 {
+		t.Fatalf("P99 = %v", p)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := &Histogram{}
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := &Histogram{}
+		for _, v := range raw {
+			h.Observe(sim.Time(v))
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := h.Percentile(pa), h.Percentile(pb)
+		return va <= vb && va >= h.Min() && vb <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := Reduction(200, 100); r != 0.5 {
+		t.Fatalf("Reduction = %v", r)
+	}
+	if r := Reduction(100, 150); r != -0.5 {
+		t.Fatalf("negative Reduction = %v", r)
+	}
+	if Reduction(0, 5) != 0 {
+		t.Fatal("zero-old Reduction should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Header: []string{"size", "latency"}}
+	tb.AddRow("64", "1.13us")
+	tb.AddRow("1514", "2.00us")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.HasPrefix(lines[0], "size") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("table header wrong:\n%s", s)
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netdimm/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	gen := workload.NewGenerator(workload.Webserver, 0, 11)
+	events := gen.Generate(500)
+	h := Header{Cluster: workload.Webserver, Seed: 11, Count: 500}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, h, events); err != nil {
+		t.Fatal(err)
+	}
+	h2, got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Fatalf("header = %+v, want %+v", h2, h)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("events = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{Count: 2}, nil); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	if err := Write(&buf, Header{Count: 1}, []workload.Event{{Size: 1 << 17}}); err == nil {
+		t.Error("oversized packet accepted")
+	}
+	if err := Write(&buf, Header{Count: 1}, []workload.Event{{At: -1, Size: 64}}); err == nil {
+		t.Error("negative timestamp accepted")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("XXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	events := workload.NewGenerator(workload.Hadoop, 0, 1).Generate(10)
+	if err := Write(&buf, Header{Cluster: workload.Hadoop, Seed: 1, Count: 10}, events); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	if _, _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// Corrupt version.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[4] = 9
+	if _, _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	var buf bytes.Buffer
+	events := []workload.Event{{At: 100, Size: 64}, {At: 50, Size: 64}}
+	if err := Write(&buf, Header{Count: 2}, events); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(&buf); err == nil {
+		t.Error("out-of-order trace accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"netdimm/internal/addrmap"
+	"netdimm/internal/memctrl"
+	"netdimm/internal/sim"
+	"netdimm/internal/stats"
+)
+
+// Injector issues memory requests into a controller at a fixed
+// inter-request delay — the Intel Memory Latency Checker methodology of
+// the paper's Fig. 5 ("We use MLC to inject dummy memory requests to the
+// memory subsystem at different rates. We set the ratio of memory read to
+// write requests to 1.").
+//
+// It doubles as the co-running-application generator of Fig. 12(b) with a
+// different read fraction and working set.
+type Injector struct {
+	Eng *sim.Engine
+	MC  *memctrl.Controller
+	// Delay between injected requests (the Fig. 5 X axis). Zero means
+	// back-to-back maximum pressure.
+	Delay sim.Time
+	// ReadFraction in [0,1]; MLC uses 0.5 (1:1 R/W).
+	ReadFraction float64
+	// Base and WorkingSet bound the address range touched.
+	Base       int64
+	WorkingSet int64
+	// Retry makes the injector behave like a stalled CPU thread: a request
+	// rejected by a full controller queue is retried until accepted (the
+	// MLC tool's load threads block on outstanding requests; they do not
+	// drop them).
+	Retry bool
+	// Parallelism is the number of independent load threads (MLC spawns
+	// one per core); each runs its own issue loop at Delay.
+	Parallelism int
+
+	rng     *sim.Rand
+	stopped bool
+	lat     stats.Histogram
+	issued  uint64
+	dropped uint64
+}
+
+// NewInjector returns a seeded injector over [base, base+workingSet).
+func NewInjector(eng *sim.Engine, mc *memctrl.Controller, delay sim.Time, readFrac float64, base, workingSet int64, seed uint64) *Injector {
+	if workingSet < addrmap.CachelineSize {
+		workingSet = addrmap.CachelineSize
+	}
+	return &Injector{
+		Eng: eng, MC: mc, Delay: delay, ReadFraction: readFrac,
+		Base: base, WorkingSet: workingSet, rng: sim.NewRand(seed),
+	}
+}
+
+// Start begins injecting; requests continue until Stop.
+func (in *Injector) Start() {
+	in.stopped = false
+	threads := in.Parallelism
+	if threads < 1 {
+		threads = 1
+	}
+	for i := 0; i < threads; i++ {
+		in.tick()
+	}
+}
+
+// Stop halts injection after the current scheduling round.
+func (in *Injector) Stop() { in.stopped = true }
+
+// Issued returns the number of requests issued.
+func (in *Injector) Issued() uint64 { return in.issued }
+
+// Dropped returns requests rejected by a full controller queue (the
+// back-pressure signal at maximum pressure).
+func (in *Injector) Dropped() uint64 { return in.dropped }
+
+// ReadLatency exposes the read-latency histogram.
+func (in *Injector) ReadLatency() *stats.Histogram { return &in.lat }
+
+func (in *Injector) tick() {
+	if in.stopped {
+		return
+	}
+	lines := in.WorkingSet / addrmap.CachelineSize
+	addr := in.Base + in.rng.Int63n(lines)*addrmap.CachelineSize
+	write := in.rng.Float64() >= in.ReadFraction
+	req := &memctrl.Request{Addr: addr, Write: write, Bytes: addrmap.CachelineSize}
+	if !write {
+		req.Done = func(r memctrl.Response) { in.lat.Observe(r.Latency()) }
+	}
+	gap := in.Delay
+	if gap <= 0 {
+		gap = sim.Nanosecond // max pressure: one request per ns of CPU issue
+	}
+	if err := in.MC.Submit(req); err != nil {
+		in.dropped++
+		if in.Retry {
+			// Stall: re-attempt this request instead of generating a new
+			// one, like a blocked load/store in the MLC thread.
+			in.Eng.Schedule(gap, func() { in.retry(req) })
+			return
+		}
+	} else {
+		in.issued++
+	}
+	in.Eng.Schedule(gap, in.tick)
+}
+
+func (in *Injector) retry(req *memctrl.Request) {
+	if in.stopped {
+		return
+	}
+	gap := in.Delay
+	if gap <= 0 {
+		gap = sim.Nanosecond
+	}
+	if err := in.MC.Submit(req); err != nil {
+		in.dropped++
+		in.Eng.Schedule(gap, func() { in.retry(req) })
+		return
+	}
+	in.issued++
+	in.Eng.Schedule(gap, in.tick)
+}

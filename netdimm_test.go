@@ -1,0 +1,142 @@
+package netdimm
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMachineNames(t *testing.T) {
+	if NewDNIC(false).Name() != "dNIC" || NewDNIC(true).Name() != "dNIC.zcpy" {
+		t.Fatal("dNIC names wrong")
+	}
+	if NewINIC(false).Name() != "iNIC" {
+		t.Fatal("iNIC name wrong")
+	}
+	nd, err := NewNetDIMM(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.Name() != "NetDIMM" {
+		t.Fatal("NetDIMM name wrong")
+	}
+}
+
+func TestOneWayLatencyAPI(t *testing.T) {
+	tx, _ := NewNetDIMM(1)
+	rx, _ := NewNetDIMM(2)
+	lat, err := OneWayLatency(tx, rx, 256, 100*time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Total <= 0 || lat.Total > 10*time.Microsecond {
+		t.Fatalf("Total = %v", lat.Total)
+	}
+	sum := lat.TxCopy + lat.RxCopy + lat.TxDMA + lat.RxDMA + lat.Wire +
+		lat.IOReg + lat.TxFlush + lat.RxInvalidate
+	if diff := sum - lat.Total; diff > 8 || diff < -8 {
+		t.Fatalf("components %v do not sum to total %v", sum, lat.Total)
+	}
+	if lat.TxFlush == 0 || lat.RxInvalidate == 0 {
+		t.Fatal("NetDIMM coherency components missing")
+	}
+	if !strings.Contains(lat.String(), "total=") {
+		t.Fatal("String missing total")
+	}
+}
+
+func TestOneWayLatencyErrors(t *testing.T) {
+	tx := NewDNIC(false)
+	if _, err := OneWayLatency(tx, tx, 0, time.Microsecond); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := OneWayLatency(nil, tx, 64, time.Microsecond); err == nil {
+		t.Error("nil machine accepted")
+	}
+}
+
+func TestOneWayOrderingViaAPI(t *testing.T) {
+	ndTX, _ := NewNetDIMM(1)
+	ndRX, _ := NewNetDIMM(2)
+	nd, _ := OneWayLatency(ndTX, ndRX, 1024, 100*time.Nanosecond)
+	in, _ := OneWayLatency(NewINIC(false), NewINIC(false), 1024, 100*time.Nanosecond)
+	dn, _ := OneWayLatency(NewDNIC(false), NewDNIC(false), 1024, 100*time.Nanosecond)
+	if !(nd.Total < in.Total && in.Total < dn.Total) {
+		t.Fatalf("ordering: ND %v iNIC %v dNIC %v", nd.Total, in.Total, dn.Total)
+	}
+}
+
+func TestConfigTable(t *testing.T) {
+	tbl := DefaultConfig().Table()
+	for _, want := range []string{"8, 3.4GHz", "DDR4-2400", "40GbE", "x8 PCIe Gen4"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("Table missing %q:\n%s", want, tbl)
+		}
+	}
+}
+
+func TestRunFig4Defaults(t *testing.T) {
+	rows := RunFig4(nil, 100*time.Nanosecond)
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want the 8 paper sizes", len(rows))
+	}
+	for _, r := range rows {
+		if !(r.INICZcpy < r.INIC && r.INIC < r.DNIC) {
+			t.Errorf("size %d ordering violated", r.Size)
+		}
+	}
+}
+
+func TestRunFig11Defaults(t *testing.T) {
+	rows, err := RunFig11([]int{64, 1024}, 100*time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ReductionVsDNIC < 0.35 || r.ReductionVsDNIC > 0.65 {
+			t.Errorf("size %d: reduction %.2f", r.Size, r.ReductionVsDNIC)
+		}
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	pts := RunFig7()
+	if len(pts) != 144 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].RelCacheline != 0 || pts[0].RelTime != 0 {
+		t.Fatal("first point should be the origin")
+	}
+}
+
+func TestGenerateTrace(t *testing.T) {
+	evs := GenerateTrace(Webserver, 200, 9)
+	if len(evs) != 200 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	small := 0
+	for _, e := range evs {
+		if e.Size < 300 {
+			small++
+		}
+		if e.Locality == "" {
+			t.Fatal("missing locality")
+		}
+	}
+	if small < 150 {
+		t.Fatalf("webserver trace small fraction = %d/200", small)
+	}
+	// Determinism across calls.
+	evs2 := GenerateTrace(Webserver, 200, 9)
+	if evs[100] != evs2[100] {
+		t.Fatal("trace not deterministic")
+	}
+}
+
+func TestClusterMapping(t *testing.T) {
+	for _, c := range AllClusters {
+		if c.internal().String() != string(c) {
+			t.Errorf("cluster %s maps to %s", c, c.internal())
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package netdimm
+
+import (
+	"io"
+	"time"
+
+	"netdimm/internal/experiments"
+)
+
+// ReplayResult summarises one architecture over a replayed trace file.
+type ReplayResult struct {
+	Arch    string
+	Packets int
+	Mean    time.Duration
+	P50     time.Duration
+	P99     time.Duration
+}
+
+// ReplayTraceFile replays a trace written by cmd/netdimm-trace through the
+// clos fabric under all three architectures.
+func ReplayTraceFile(r io.Reader, switchLatency time.Duration, seed uint64) (cluster string, results []ReplayResult, err error) {
+	h, rows, err := experiments.ReplayTraceFile(r, simT(switchLatency), seed)
+	if err != nil {
+		return "", nil, err
+	}
+	for _, row := range rows {
+		results = append(results, ReplayResult{
+			Arch:    row.Arch,
+			Packets: row.Packets,
+			Mean:    toDuration(row.Mean),
+			P50:     toDuration(row.P50),
+			P99:     toDuration(row.P99),
+		})
+	}
+	return h.Cluster.String(), results, nil
+}
+
+// MixedChannelResult reports the DDR5 mixed-channel demonstration: DDR and
+// NetDIMM transactions sharing one channel via the asynchronous protocol.
+type MixedChannelResult struct {
+	DDRReads          int
+	NetDIMMReads      int
+	DDRMean           time.Duration
+	NetDIMMMean       time.Duration
+	OutOfOrder        uint64
+	MaxOutstandingIDs int
+}
+
+// RunMixedChannel demonstrates that a NetDIMM's non-deterministic local
+// accesses coexist with deterministic DDR accesses on one channel (paper
+// Sec. 2.2/4.1).
+func RunMixedChannel(n int, seed uint64) (MixedChannelResult, error) {
+	r, err := experiments.MixedChannel(n, seed)
+	if err != nil {
+		return MixedChannelResult{}, err
+	}
+	return MixedChannelResult{
+		DDRReads:          r.DDRReads,
+		NetDIMMReads:      r.NetDIMMReads,
+		DDRMean:           toDuration(r.DDRMeanLatency),
+		NetDIMMMean:       toDuration(r.NetDIMMMean),
+		OutOfOrder:        r.OutOfOrder,
+		MaxOutstandingIDs: r.MaxOutstandingIDs,
+	}, nil
+}
