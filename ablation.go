@@ -20,9 +20,9 @@ type BandwidthResult struct {
 // RunBandwidth streams MTU frames at 40GbE line rate through each
 // architecture and reports whether it sustains the offered rate (paper
 // Sec. 5.2: all three do; the NetDIMM's single local channel has ample
-// headroom).
-func RunBandwidth(packets int) ([]BandwidthResult, error) {
-	rows, err := experiments.Bandwidth(packets)
+// headroom). parallelism follows the convention of RunFig4.
+func RunBandwidth(packets int, parallelism int) ([]BandwidthResult, error) {
+	rows, err := experiments.Bandwidth(packets, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -76,10 +76,12 @@ type HeaderCacheAblation struct {
 	HitRate    float64
 }
 
-// RunAblations runs all four ablation studies.
-func RunAblations() (AblationReport, error) {
+// RunAblations runs all four ablation studies. parallelism follows the
+// convention of RunFig4; the clone and alloc studies are inherently
+// sequential and ignore it.
+func RunAblations(parallelism int) (AblationReport, error) {
 	var rep AblationReport
-	for _, r := range experiments.PrefetchAblation(nil, 0) {
+	for _, r := range experiments.PrefetchAblation(nil, 0, parallelism) {
 		rep.Prefetch = append(rep.Prefetch, PrefetchAblation{
 			Degree: r.Degree, HitRate: r.HitRate, MeanReadLat: toDuration(r.MeanReadLat),
 		})
@@ -96,7 +98,7 @@ func RunAblations() (AblationReport, error) {
 			Strategy: r.Strategy, PerAlloc: toDuration(r.PerAlloc), FPMRate: r.FPMRate,
 		})
 	}
-	for _, r := range experiments.HeaderCacheAblation(0) {
+	for _, r := range experiments.HeaderCacheAblation(0, parallelism) {
 		rep.HeaderCache = append(rep.HeaderCache, HeaderCacheAblation{
 			Strategy: r.Strategy, HeaderRead: toDuration(r.HeaderRead), HitRate: r.HitRate,
 		})

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRunBandwidth(t *testing.T) {
-	rows, err := RunBandwidth(200)
+	rows, err := RunBandwidth(200, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestRunBandwidth(t *testing.T) {
 }
 
 func TestRunAblations(t *testing.T) {
-	rep, err := RunAblations()
+	rep, err := RunAblations(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestReplayTraceFileAPI(t *testing.T) {
 	if err := writeTraceForTest(&buf, Hadoop, 3, 100); err != nil {
 		t.Fatal(err)
 	}
-	cluster, rows, err := ReplayTraceFile(&buf, 100*time.Nanosecond, 1)
+	cluster, rows, err := ReplayTraceFile(&buf, 100*time.Nanosecond, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -29,7 +29,7 @@ func BenchmarkTable1(b *testing.B) {
 func BenchmarkFig4(b *testing.B) {
 	var rows []Fig4Result
 	for i := 0; i < b.N; i++ {
-		rows = RunFig4([]int{10, 60, 200, 500, 1000, 2000}, 100*time.Nanosecond)
+		rows = RunFig4([]int{10, 60, 200, 500, 1000, 2000}, 100*time.Nanosecond, 1)
 	}
 	last := rows[len(rows)-1]
 	b.ReportMetric(float64(last.DNIC.Nanoseconds()), "dNIC-2000B-ns")
@@ -41,7 +41,7 @@ func BenchmarkFig4(b *testing.B) {
 func BenchmarkFig5(b *testing.B) {
 	var rows []Fig5Result
 	for i := 0; i < b.N; i++ {
-		rows = RunFig5([]time.Duration{time.Second, 500 * time.Nanosecond, 5 * time.Nanosecond})
+		rows = RunFig5([]time.Duration{time.Second, 500 * time.Nanosecond, 5 * time.Nanosecond}, 1)
 	}
 	base := rows[0].BandwidthGbps
 	worst := rows[len(rows)-1].BandwidthGbps
@@ -56,8 +56,25 @@ func BenchmarkFig7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pts = RunFig7()
 	}
-	span := pts[23].RelTime - pts[0].RelTime
-	b.ReportMetric(float64(span.Nanoseconds()), "burst-span-ns")
+	if len(pts) == 0 {
+		b.Fatal("empty Fig7 trace")
+	}
+	// The span of the first burst, derived from the data rather than a
+	// hard-coded point index (the trace length depends on model detail).
+	first, last := time.Duration(-1), time.Duration(0)
+	for _, p := range pts {
+		if p.Burst != 0 {
+			continue
+		}
+		if first < 0 {
+			first = p.RelTime
+		}
+		last = p.RelTime
+	}
+	if first < 0 {
+		b.Fatal("Fig7 trace has no burst-0 points")
+	}
+	b.ReportMetric(float64((last - first).Nanoseconds()), "burst-span-ns")
 	b.ReportMetric(float64(len(pts)), "requests")
 }
 
@@ -67,7 +84,7 @@ func BenchmarkFig11(b *testing.B) {
 	var rows []Fig11Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = RunFig11([]int{64, 256, 1024, 1514}, 100*time.Nanosecond)
+		rows, err = RunFig11([]int{64, 256, 1024, 1514}, 100*time.Nanosecond, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -82,12 +99,17 @@ func BenchmarkFig11(b *testing.B) {
 }
 
 // BenchmarkFig12a regenerates a scaled cluster replay and reports the
-// average per-packet reduction at 25ns and 200ns switch latency.
-func BenchmarkFig12a(b *testing.B) {
+// average per-packet reduction at 25ns and 200ns switch latency. The Seq
+// and Par variants pin the worker count so `go test -bench Fig12a` shows
+// the fan-out speedup on multi-core hosts.
+func BenchmarkFig12a(b *testing.B)    { benchmarkFig12a(b, 1) }
+func BenchmarkFig12aPar(b *testing.B) { benchmarkFig12a(b, 0) }
+
+func benchmarkFig12a(b *testing.B, parallelism int) {
 	var rows []Fig12aResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = RunFig12a(200, 3)
+		rows, err = RunFig12a(200, 3, parallelism)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -110,7 +132,7 @@ func BenchmarkFig12a(b *testing.B) {
 func BenchmarkFig12b(b *testing.B) {
 	var rows []Fig12bResult
 	for i := 0; i < b.N; i++ {
-		rows = RunFig12b()
+		rows = RunFig12b(1)
 	}
 	var dpiWorst, l3fBest float64
 	for _, r := range rows {
@@ -130,7 +152,7 @@ func BenchmarkHeadline(b *testing.B) {
 	var h HeadlineResult
 	for i := 0; i < b.N; i++ {
 		var err error
-		h, err = RunHeadline(100)
+		h, err = RunHeadline(100, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

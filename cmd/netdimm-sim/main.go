@@ -24,6 +24,7 @@ var (
 	switchLat = flag.Duration("switch", 100*time.Nanosecond, "switch port-to-port latency (fig4, fig11)")
 	seed      = flag.Uint64("seed", 3, "trace generator seed")
 	asCSV     = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (fig4, fig5, fig7, fig11, fig12a, fig12b)")
+	parallel  = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = all cores, 1 = sequential, N = at most N")
 )
 
 // csvOut prints one CSV record.
@@ -67,6 +68,7 @@ experiments:
   mixed     DDR + NetDIMM coexistence on one channel (NVDIMM-P async, Sec. 2.2)
   replay F  replay a netdimm-trace file under all three architectures
   headline the abstract's summary numbers
+  bench    machine-readable benchmark report (JSON; see -benchn)
   all      everything above
 
 flags:
@@ -92,6 +94,8 @@ func run(exp string) error {
 		runFig12b()
 	case "headline":
 		return runHeadline()
+	case "bench":
+		return runBench()
 	case "bandwidth":
 		return runBandwidth()
 	case "ablation":
@@ -140,7 +144,7 @@ func run(exp string) error {
 func runFig4() {
 	if *asCSV {
 		csvOut("size", "dnic_ns", "dnic_zcpy_ns", "inic_ns", "inic_zcpy_ns", "pcie_share", "pcie_share_zcpy")
-		for _, r := range netdimm.RunFig4(nil, *switchLat) {
+		for _, r := range netdimm.RunFig4(nil, *switchLat, *parallel) {
 			csvOut(fmt.Sprint(r.Size),
 				fmt.Sprint(r.DNIC.Nanoseconds()), fmt.Sprint(r.DNICZcpy.Nanoseconds()),
 				fmt.Sprint(r.INIC.Nanoseconds()), fmt.Sprint(r.INICZcpy.Nanoseconds()),
@@ -151,7 +155,7 @@ func runFig4() {
 	fmt.Printf("Fig. 4 — one-way latency, baseline NICs (switch %v)\n", *switchLat)
 	fmt.Printf("%6s  %10s  %10s  %10s  %10s  %10s  %10s\n",
 		"size", "dNIC", "dNIC.zcpy", "iNIC", "iNIC.zcpy", "pcie.overh", "pcie.zcpy")
-	for _, r := range netdimm.RunFig4(nil, *switchLat) {
+	for _, r := range netdimm.RunFig4(nil, *switchLat, *parallel) {
 		fmt.Printf("%6d  %10v  %10v  %10v  %10v  %9.1f%%  %9.1f%%\n",
 			r.Size, r.DNIC, r.DNICZcpy, r.INIC, r.INICZcpy,
 			r.PCIeShare*100, r.PCIeShareZcpy*100)
@@ -161,7 +165,7 @@ func runFig4() {
 func runFig5() {
 	if *asCSV {
 		csvOut("inject_delay_ns", "gbps", "mem_read_ns")
-		for _, r := range netdimm.RunFig5(nil) {
+		for _, r := range netdimm.RunFig5(nil, *parallel) {
 			csvOut(fmt.Sprint(r.InjectDelay.Nanoseconds()),
 				fmt.Sprintf("%.2f", r.BandwidthGbps), fmt.Sprintf("%.1f", r.MemReadNs))
 		}
@@ -169,7 +173,7 @@ func runFig5() {
 	}
 	fmt.Println("Fig. 5 — iperf bandwidth vs MLC memory pressure")
 	fmt.Printf("%14s  %10s  %12s\n", "inject delay", "Gbps", "mem read ns")
-	for _, r := range netdimm.RunFig5(nil) {
+	for _, r := range netdimm.RunFig5(nil, *parallel) {
 		delay := r.InjectDelay.String()
 		if r.InjectDelay >= time.Second {
 			delay = "none"
@@ -200,7 +204,7 @@ func runFig7() {
 }
 
 func runFig11() error {
-	rows, err := netdimm.RunFig11(nil, *switchLat)
+	rows, err := netdimm.RunFig11(nil, *switchLat, *parallel)
 	if err != nil {
 		return err
 	}
@@ -235,7 +239,7 @@ func runFig11() error {
 }
 
 func runFig12a() error {
-	rows, err := netdimm.RunFig12a(*packets, *seed)
+	rows, err := netdimm.RunFig12a(*packets, *seed, *parallel)
 	if err != nil {
 		return err
 	}
@@ -262,7 +266,7 @@ func runFig12a() error {
 func runFig12b() {
 	if *asCSV {
 		csvOut("cluster", "nf", "inic_ns", "netdimm_ns", "norm")
-		for _, r := range netdimm.RunFig12b() {
+		for _, r := range netdimm.RunFig12b(*parallel) {
 			csvOut(string(r.Cluster), string(r.Function),
 				fmt.Sprintf("%.2f", r.INICNs), fmt.Sprintf("%.2f", r.NetDIMMNs),
 				fmt.Sprintf("%.4f", r.Norm))
@@ -271,14 +275,14 @@ func runFig12b() {
 	}
 	fmt.Println("Fig. 12b — co-running app memory latency (normalized to iNIC)")
 	fmt.Printf("%-10s  %-4s  %10s  %10s  %8s\n", "cluster", "nf", "iNIC ns", "ND ns", "norm")
-	for _, r := range netdimm.RunFig12b() {
+	for _, r := range netdimm.RunFig12b(*parallel) {
 		fmt.Printf("%-10s  %-4s  %10.1f  %10.1f  %8.3f\n",
 			r.Cluster, r.Function, r.INICNs, r.NetDIMMNs, r.Norm)
 	}
 }
 
 func runBandwidth() error {
-	rows, err := netdimm.RunBandwidth(*packets)
+	rows, err := netdimm.RunBandwidth(*packets, *parallel)
 	if err != nil {
 		return err
 	}
@@ -297,7 +301,7 @@ func runBandwidth() error {
 }
 
 func runAblation() error {
-	rep, err := netdimm.RunAblations()
+	rep, err := netdimm.RunAblations(*parallel)
 	if err != nil {
 		return err
 	}
@@ -344,7 +348,7 @@ func runReplay(path string) error {
 		return err
 	}
 	defer f.Close()
-	cluster, rows, err := netdimm.ReplayTraceFile(f, *switchLat, *seed)
+	cluster, rows, err := netdimm.ReplayTraceFile(f, *switchLat, *seed, *parallel)
 	if err != nil {
 		return err
 	}
@@ -357,7 +361,7 @@ func runReplay(path string) error {
 }
 
 func runHeadline() error {
-	h, err := netdimm.RunHeadline(*packets)
+	h, err := netdimm.RunHeadline(*packets, *parallel)
 	if err != nil {
 		return err
 	}

@@ -23,7 +23,7 @@ func main() {
 	fmt.Println("\nFig. 12(b) — co-running app memory latency, NetDIMM normalized to iNIC:")
 	fmt.Printf("%-10s  %-4s  %10s  %10s  %8s  %s\n",
 		"cluster", "nf", "iNIC", "NetDIMM", "norm", "meaning")
-	for _, r := range netdimm.RunFig12b() {
+	for _, r := range netdimm.RunFig12b(0) {
 		meaning := "NetDIMM interferes less"
 		if r.Norm > 1 {
 			meaning = "NetDIMM interferes more"

@@ -18,13 +18,13 @@ func main() {
 	fmt.Println("Baseline NIC architectures (Fig. 4):")
 	fmt.Printf("%6s  %9s  %9s  %9s  %9s  %10s\n",
 		"size", "dNIC", "dNIC.zcpy", "iNIC", "iNIC.zcpy", "pcie.overh")
-	for _, r := range netdimm.RunFig4(sizes, switchLatency) {
+	for _, r := range netdimm.RunFig4(sizes, switchLatency, 0) {
 		fmt.Printf("%6d  %9v  %9v  %9v  %9v  %9.1f%%\n",
 			r.Size, r.DNIC, r.DNICZcpy, r.INIC, r.INICZcpy, r.PCIeShare*100)
 	}
 
 	fmt.Println("\nNetDIMM vs the baselines (Fig. 11):")
-	rows, err := netdimm.RunFig11(sizes, switchLatency)
+	rows, err := netdimm.RunFig11(sizes, switchLatency, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -35,7 +35,7 @@ func main() {
 
 	// Replay each cluster across the paper's switch-latency sweep.
 	fmt.Println("\nFig. 12(a) replay — NetDIMM latency normalized to dNIC and iNIC:")
-	rows, err := netdimm.RunFig12a(1500, 7)
+	rows, err := netdimm.RunFig12a(1500, 7, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

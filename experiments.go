@@ -65,11 +65,16 @@ type Fig4Result struct {
 
 // RunFig4 regenerates Fig. 4: one-way latency of the four baseline NIC
 // configurations with the PCIe overhead share.
-func RunFig4(sizes []int, switchLatency time.Duration) []Fig4Result {
+//
+// parallelism fans the sweep's independent cells over worker goroutines:
+// <= 0 uses all cores (runtime.GOMAXPROCS), 1 runs sequentially, N uses at
+// most N workers. Results are identical for every setting. The same knob
+// appears on every Run* sweep below.
+func RunFig4(sizes []int, switchLatency time.Duration, parallelism int) []Fig4Result {
 	if len(sizes) == 0 {
 		sizes = experiments.PaperSizes
 	}
-	rows := experiments.Fig4(sizes, simT(switchLatency))
+	rows := experiments.Fig4(sizes, simT(switchLatency), parallelism)
 	out := make([]Fig4Result, len(rows))
 	for i, r := range rows {
 		out[i] = Fig4Result{
@@ -95,7 +100,7 @@ type Fig5Result struct {
 // RunFig5 regenerates Fig. 5: iperf bandwidth under MLC-style memory
 // pressure. A nil delay slice uses a representative sweep from idle to
 // maximum pressure.
-func RunFig5(delays []time.Duration) []Fig5Result {
+func RunFig5(delays []time.Duration, parallelism int) []Fig5Result {
 	var ds []sim.Time
 	if len(delays) == 0 {
 		ds = []sim.Time{
@@ -108,7 +113,7 @@ func RunFig5(delays []time.Duration) []Fig5Result {
 			ds = append(ds, simT(d))
 		}
 	}
-	rows := experiments.Fig5(ds, experiments.DefaultFig5Config())
+	rows := experiments.Fig5(ds, experiments.DefaultFig5Config(), parallelism)
 	out := make([]Fig5Result, len(rows))
 	for i, r := range rows {
 		out[i] = Fig5Result{
@@ -150,11 +155,11 @@ type Fig11Result struct {
 
 // RunFig11 regenerates Fig. 11: the one-way latency breakdown of dNIC,
 // iNIC and NetDIMM across packet sizes.
-func RunFig11(sizes []int, switchLatency time.Duration) ([]Fig11Result, error) {
+func RunFig11(sizes []int, switchLatency time.Duration, parallelism int) ([]Fig11Result, error) {
 	if len(sizes) == 0 {
 		sizes = experiments.PaperSizes
 	}
-	rows, err := experiments.Fig11(sizes, simT(switchLatency))
+	rows, err := experiments.Fig11(sizes, simT(switchLatency), parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -185,11 +190,11 @@ type Fig12aResult struct {
 
 // RunFig12a regenerates Fig. 12(a): cluster trace replay across switch
 // latencies. packets controls the trace length per cell (0 = 1000).
-func RunFig12a(packets int, seed uint64) ([]Fig12aResult, error) {
+func RunFig12a(packets int, seed uint64, parallelism int) ([]Fig12aResult, error) {
 	if packets <= 0 {
 		packets = 1000
 	}
-	rows, err := experiments.Fig12a(workload.Clusters, experiments.PaperSwitchLatencies, packets, seed)
+	rows, err := experiments.Fig12a(workload.Clusters, experiments.PaperSwitchLatencies, packets, seed, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -219,9 +224,9 @@ type Fig12bResult struct {
 
 // RunFig12b regenerates Fig. 12(b): co-running application memory latency
 // under DPI and L3F, NetDIMM normalised to iNIC.
-func RunFig12b() []Fig12bResult {
+func RunFig12b(parallelism int) []Fig12bResult {
 	rows := experiments.Fig12b(workload.Clusters,
-		[]netfunc.Kind{netfunc.DPI, netfunc.L3F}, experiments.DefaultFig12bConfig())
+		[]netfunc.Kind{netfunc.DPI, netfunc.L3F}, experiments.DefaultFig12bConfig(), parallelism)
 	out := make([]Fig12bResult, len(rows))
 	for i, r := range rows {
 		out[i] = Fig12bResult{
@@ -245,11 +250,11 @@ type HeadlineResult struct {
 }
 
 // RunHeadline measures the paper's headline numbers.
-func RunHeadline(packets int) (HeadlineResult, error) {
+func RunHeadline(packets int, parallelism int) (HeadlineResult, error) {
 	if packets <= 0 {
 		packets = 500
 	}
-	h, err := experiments.RunHeadline(packets)
+	h, err := experiments.RunHeadline(packets, parallelism)
 	if err != nil {
 		return HeadlineResult{}, err
 	}

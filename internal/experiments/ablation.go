@@ -26,15 +26,16 @@ type PrefetchAblationRow struct {
 // through the memory channel for several nPrefetcher degrees. The paper's
 // claim: with the next-line prefetcher, "reading an entire RX packet may
 // only experience one nCache miss" (Sec. 4.1).
-func PrefetchAblation(degrees []int, packets int) []PrefetchAblationRow {
+func PrefetchAblation(degrees []int, packets int, parallelism int) []PrefetchAblationRow {
 	if len(degrees) == 0 {
 		degrees = []int{0, 1, 2, 4, 8}
 	}
 	if packets <= 0 {
 		packets = 50
 	}
-	rows := make([]PrefetchAblationRow, 0, len(degrees))
-	for _, deg := range degrees {
+	rows := make([]PrefetchAblationRow, len(degrees))
+	forEachCell(len(degrees), parallelism, func(cell int) {
+		deg := degrees[cell]
 		eng := sim.NewEngine()
 		cfg := core.DefaultConfig()
 		cfg.PrefetchDegree = deg
@@ -64,8 +65,8 @@ func PrefetchAblation(degrees []int, packets int) []PrefetchAblationRow {
 			row.HitRate = float64(hits) / float64(total)
 			row.MeanReadLat = latSum / sim.Time(total)
 		}
-		rows = append(rows, row)
-	}
+		rows[cell] = row
+	})
 	return rows
 }
 
@@ -109,6 +110,9 @@ type AllocAblationRow struct {
 // AllocAblation measures the allocCache contribution: pre-allocated
 // sub-array-affine pages vs calling __alloc_netdimm_pages per packet vs
 // hint-less allocation (which degrades clones to PSM/GCM).
+//
+// AllocAblation stays sequential: strategy 2 reuses the FPM rate measured
+// by strategy 1, so the strategies are not independent cells.
 func AllocAblation(packets int) ([]AllocAblationRow, error) {
 	if packets <= 0 {
 		packets = 300
@@ -172,7 +176,7 @@ type HeaderCacheAblationRow struct {
 // HeaderCacheAblation measures the nCache contribution to header
 // processing (the L3F-style access pattern): header reads with the nCache
 // enabled vs a device with a zero-line cache.
-func HeaderCacheAblation(packets int) []HeaderCacheAblationRow {
+func HeaderCacheAblation(packets int, parallelism int) []HeaderCacheAblationRow {
 	if packets <= 0 {
 		packets = 200
 	}
@@ -215,5 +219,10 @@ func HeaderCacheAblation(packets int) []HeaderCacheAblationRow {
 			HitRate:    float64(hits) / float64(total),
 		}
 	}
-	return []HeaderCacheAblationRow{run(512), run(0)}
+	lines := []int{512, 0}
+	rows := make([]HeaderCacheAblationRow, len(lines))
+	forEachCell(len(lines), parallelism, func(i int) {
+		rows[i] = run(lines[i])
+	})
+	return rows
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestPrefetchAblation(t *testing.T) {
-	rows := PrefetchAblation([]int{0, 4}, 20)
+	rows := PrefetchAblation([]int{0, 4}, 20, 1)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -29,7 +29,7 @@ func TestPrefetchAblation(t *testing.T) {
 }
 
 func TestPrefetchAblationMonotone(t *testing.T) {
-	rows := PrefetchAblation([]int{1, 2, 4}, 15)
+	rows := PrefetchAblation([]int{1, 2, 4}, 15, 0)
 	for i := 1; i < len(rows); i++ {
 		if rows[i].HitRate+0.02 < rows[i-1].HitRate {
 			t.Fatalf("hit rate fell with degree: %+v", rows)
@@ -74,7 +74,7 @@ func TestAllocAblation(t *testing.T) {
 }
 
 func TestHeaderCacheAblation(t *testing.T) {
-	rows := HeaderCacheAblation(100)
+	rows := HeaderCacheAblation(100, 0)
 	on, off := rows[0], rows[1]
 	if on.HitRate < 0.9 {
 		t.Fatalf("nCache header hit rate = %.2f, want ~1", on.HitRate)
@@ -88,7 +88,7 @@ func TestHeaderCacheAblation(t *testing.T) {
 }
 
 func TestBandwidthSustained(t *testing.T) {
-	rows, err := Bandwidth(300)
+	rows, err := Bandwidth(300, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,7 +39,7 @@ const RSSCores = 4
 // path is the binding side: TX is paced by the same stages. Per-packet
 // driver work spreads over RSSCores (receive-side scaling), as in any
 // 40GbE deployment; NIC DMA and the wire pipeline with the CPU.
-func Bandwidth(packets int) ([]BandwidthResult, error) {
+func Bandwidth(packets int, parallelism int) ([]BandwidthResult, error) {
 	if packets <= 0 {
 		packets = 2000
 	}
@@ -47,31 +47,44 @@ func Bandwidth(packets int) ([]BandwidthResult, error) {
 	gap := link.SerializeTime(nic.MTU) // line-rate arrival spacing
 	wireBytes := float64(nic.MTU + nic.EthernetOverheadBytes)
 
-	var out []BandwidthResult
-
-	// NetDIMM: event-driven; packets arrive every gap and the driver RX
-	// path must finish before the backlog grows without bound. The device
-	// pipeline overlaps DMA with driver work, so sustained throughput is
-	// bounded by the slower of the two; we measure the serialized driver
-	// cost as the conservative bound.
-	nd, err := driver.NewNetDIMMMachine(11)
-	if err != nil {
-		return nil, err
-	}
-	var busy sim.Time
-	for i := 0; i < packets; i++ {
-		busy += driverSerial(nd.RX(nic.Packet{Size: nic.MTU}))
-	}
-	perPkt := busy / sim.Time(packets)
-	out = append(out, result("NetDIMM", gap, perPkt, wireBytes, 12.8e9))
-
-	// dNIC and iNIC: analytic per-packet RX costs.
-	for _, m := range []driver.Machine{driver.NewDNICMachine(false), driver.NewINICMachine(false)} {
-		var sum sim.Time
-		for i := 0; i < 32; i++ {
-			sum += driverSerial(m.RX(nic.Packet{Size: nic.MTU}))
+	// Each architecture is an independent cell with its own machine.
+	out := make([]BandwidthResult, 3)
+	errs := make([]error, 3)
+	forEachCell(3, parallelism, func(i int) {
+		switch i {
+		case 0:
+			// NetDIMM: event-driven; packets arrive every gap and the
+			// driver RX path must finish before the backlog grows without
+			// bound. The device pipeline overlaps DMA with driver work, so
+			// sustained throughput is bounded by the slower of the two; we
+			// measure the serialized driver cost as the conservative bound.
+			nd, err := driver.NewNetDIMMMachine(11)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var busy sim.Time
+			for p := 0; p < packets; p++ {
+				busy += driverSerial(nd.RX(nic.Packet{Size: nic.MTU}))
+			}
+			out[i] = result("NetDIMM", gap, busy/sim.Time(packets), wireBytes, 12.8e9)
+		default:
+			// dNIC and iNIC: analytic per-packet RX costs.
+			var m driver.Machine
+			if i == 1 {
+				m = driver.NewDNICMachine(false)
+			} else {
+				m = driver.NewINICMachine(false)
+			}
+			var sum sim.Time
+			for p := 0; p < 32; p++ {
+				sum += driverSerial(m.RX(nic.Packet{Size: nic.MTU}))
+			}
+			out[i] = result(m.Name(), gap, sum/32, wireBytes, 0)
 		}
-		out = append(out, result(m.Name(), gap, sum/32, wireBytes, 0))
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

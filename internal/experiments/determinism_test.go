@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"netdimm/internal/netfunc"
+	"netdimm/internal/sim"
+	"netdimm/internal/workload"
+)
+
+// The parallel fan-out must be invisible in the results: every sweep runs
+// each cell on a fresh engine with per-cell seeds and writes only its own
+// pre-sized slice index, so parallelism=8 must produce output deep-equal to
+// parallelism=1. This is the guard for that contract — if a future change
+// introduces shared mutable state across cells, one of these cases fails
+// (and `go test -race ./internal/experiments/...` pinpoints the write).
+func TestParallelMatchesSequential(t *testing.T) {
+	fig5cfg := DefaultFig5Config()
+	fig5cfg.Duration = 200 * sim.Microsecond
+	fig12bcfg := DefaultFig12bConfig()
+	fig12bcfg.Duration = 100 * sim.Microsecond
+
+	cases := []struct {
+		name string
+		run  func(parallelism int) (any, error)
+	}{
+		{"Fig4", func(p int) (any, error) {
+			return Fig4([]int{10, 200, 2000}, 100*sim.Nanosecond, p), nil
+		}},
+		{"Fig5", func(p int) (any, error) {
+			return Fig5([]sim.Time{sim.Second, 100 * sim.Nanosecond, 5 * sim.Nanosecond}, fig5cfg, p), nil
+		}},
+		{"Fig11", func(p int) (any, error) {
+			return Fig11([]int{64, 1024}, 100*sim.Nanosecond, p)
+		}},
+		{"Fig12a", func(p int) (any, error) {
+			return Fig12a(workload.Clusters, PaperSwitchLatencies[:2], 60, 3, p)
+		}},
+		{"Fig12b", func(p int) (any, error) {
+			return Fig12b(workload.Clusters[:2], []netfunc.Kind{netfunc.DPI, netfunc.L3F}, fig12bcfg, p), nil
+		}},
+		{"PrefetchAblation", func(p int) (any, error) {
+			return PrefetchAblation([]int{0, 2, 4}, 15, p), nil
+		}},
+		{"HeaderCacheAblation", func(p int) (any, error) {
+			return HeaderCacheAblation(60, p), nil
+		}},
+		{"Bandwidth", func(p int) (any, error) {
+			return Bandwidth(100, p)
+		}},
+		{"ReplayTrace", func(p int) (any, error) {
+			gen := workload.NewGenerator(workload.Hadoop, 0, 5)
+			return ReplayTrace(gen.Generate(150), 100*sim.Nanosecond, 9, p)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			seq, err := tc.run(1)
+			if err != nil {
+				t.Fatalf("sequential: %v", err)
+			}
+			par, err := tc.run(8)
+			if err != nil {
+				t.Fatalf("parallel(8): %v", err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("parallel(8) diverged from sequential:\nseq: %+v\npar: %+v", seq, par)
+			}
+		})
+	}
+}
+
+// The headline suite composes three sweeps; guard it end to end (it is the
+// slowest case, so skip under -short).
+func TestHeadlineParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("headline determinism check skipped under -short")
+	}
+	seq, err := RunHeadline(80, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunHeadline(80, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("headline parallel(8) diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+}

@@ -46,53 +46,64 @@ var PaperSwitchLatencies = []sim.Time{
 // per-packet latency under each NIC architecture. The clos switches are
 // store-and-forward, so MTU-heavy traffic (hadoop) pays per-hop
 // re-serialisation, reproducing the paper's cluster ordering.
-func Fig12a(clusters []workload.Cluster, switchLats []sim.Time, n int, seed uint64) ([]Fig12aRow, error) {
-	var rows []Fig12aRow
-	for _, cl := range clusters {
-		for _, sl := range switchLats {
-			fabric := ethernet.NewFabric(sl)
-			fabric.Switch.CutThrough = false
-
-			events := workload.NewGenerator(cl, 0, seed).Generate(n)
-			ndTX, err := driver.NewNetDIMMMachine(seed*2 + 1)
-			if err != nil {
-				return nil, err
-			}
-			ndRX, err := driver.NewNetDIMMMachine(seed*2 + 2)
-			if err != nil {
-				return nil, err
-			}
-			dn := driver.NewDNICMachine(false)
-			in := driver.NewINICMachine(false)
-
-			var dnSum, inSum, ndSum sim.Time
-			for i, e := range events {
-				p := e.Packet(uint64(i))
-				wire := fabric.WireTime(e.Size, e.Locality)
-
-				dnB := dn.TX(p)
-				dnB.Add(stats.Wire, wire)
-				dnSum += dnB.Plus(dn.RX(p)).Total()
-
-				inB := in.TX(p)
-				inB.Add(stats.Wire, wire)
-				inSum += inB.Plus(in.RX(p)).Total()
-
-				ndB := ndTX.TX(p)
-				ndB.Add(stats.Wire, wire)
-				ndSum += ndB.Plus(ndRX.RX(p)).Total()
-			}
-			cnt := sim.Time(len(events))
-			rows = append(rows, Fig12aRow{
-				Cluster:       cl,
-				SwitchLatency: sl,
-				DNICMean:      dnSum / cnt,
-				INICMean:      inSum / cnt,
-				NetDIMMMean:   ndSum / cnt,
-			})
-		}
+func Fig12a(clusters []workload.Cluster, switchLats []sim.Time, n int, seed uint64, parallelism int) ([]Fig12aRow, error) {
+	rows := make([]Fig12aRow, len(clusters)*len(switchLats))
+	errs := make([]error, len(rows))
+	forEachCell(len(rows), parallelism, func(idx int) {
+		cl := clusters[idx/len(switchLats)]
+		sl := switchLats[idx%len(switchLats)]
+		rows[idx], errs[idx] = fig12aCell(cl, sl, n, seed)
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// fig12aCell measures one (cluster, switch latency) grid point. Every cell
+// regenerates its trace and machines from the same seed, so cells are
+// fully independent of each other.
+func fig12aCell(cl workload.Cluster, sl sim.Time, n int, seed uint64) (Fig12aRow, error) {
+	fabric := ethernet.NewFabric(sl)
+	fabric.Switch.CutThrough = false
+
+	events := workload.NewGenerator(cl, 0, seed).Generate(n)
+	ndTX, err := driver.NewNetDIMMMachine(seed*2 + 1)
+	if err != nil {
+		return Fig12aRow{}, err
+	}
+	ndRX, err := driver.NewNetDIMMMachine(seed*2 + 2)
+	if err != nil {
+		return Fig12aRow{}, err
+	}
+	dn := driver.NewDNICMachine(false)
+	in := driver.NewINICMachine(false)
+
+	var dnSum, inSum, ndSum sim.Time
+	for i, e := range events {
+		p := e.Packet(uint64(i))
+		wire := fabric.WireTime(e.Size, e.Locality)
+
+		dnB := dn.TX(p)
+		dnB.Add(stats.Wire, wire)
+		dnSum += dnB.Plus(dn.RX(p)).Total()
+
+		inB := in.TX(p)
+		inB.Add(stats.Wire, wire)
+		inSum += inB.Plus(in.RX(p)).Total()
+
+		ndB := ndTX.TX(p)
+		ndB.Add(stats.Wire, wire)
+		ndSum += ndB.Plus(ndRX.RX(p)).Total()
+	}
+	cnt := sim.Time(len(events))
+	return Fig12aRow{
+		Cluster:       cl,
+		SwitchLatency: sl,
+		DNICMean:      dnSum / cnt,
+		INICMean:      inSum / cnt,
+		NetDIMMMean:   ndSum / cnt,
+	}, nil
 }
 
 // Fig12aAverages reduces rows to the paper's summary form: the average

@@ -69,18 +69,25 @@ func DefaultFig12bConfig() Fig12bConfig {
 // the NetDIMM shares with the application's DIMMs: one line per packet for
 // L3F (served by nCache but still occupying the channel), the whole packet
 // for DPI.
-func Fig12b(clusters []workload.Cluster, kinds []netfunc.Kind, cfg Fig12bConfig) []Fig12bRow {
-	var rows []Fig12bRow
-	for _, cl := range clusters {
-		for _, k := range kinds {
-			inic := runInterference(cl, k, false, cfg)
-			nd := runInterference(cl, k, true, cfg)
-			rows = append(rows, Fig12bRow{
-				Cluster:   cl,
-				Kind:      k,
-				INICAppNs: inic,
-				NetDIMMNs: nd,
-			})
+// Each (cluster, function, architecture) run is its own cell — the finest
+// grain available, 2 cells per output row — fanned out over `parallelism`
+// workers and reassembled in grid order.
+func Fig12b(clusters []workload.Cluster, kinds []netfunc.Kind, cfg Fig12bConfig, parallelism int) []Fig12bRow {
+	nRows := len(clusters) * len(kinds)
+	vals := make([]float64, 2*nRows) // [2*row] = iNIC, [2*row+1] = NetDIMM
+	forEachCell(2*nRows, parallelism, func(idx int) {
+		row := idx / 2
+		cl := clusters[row/len(kinds)]
+		k := kinds[row%len(kinds)]
+		vals[idx] = runInterference(cl, k, idx%2 == 1, cfg)
+	})
+	rows := make([]Fig12bRow, nRows)
+	for row := range rows {
+		rows[row] = Fig12bRow{
+			Cluster:   clusters[row/len(kinds)],
+			Kind:      kinds[row%len(kinds)],
+			INICAppNs: vals[2*row],
+			NetDIMMNs: vals[2*row+1],
 		}
 	}
 	return rows

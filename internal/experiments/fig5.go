@@ -52,12 +52,14 @@ func DefaultFig5Config() Fig5Config {
 
 // Fig5 sweeps the injector delay and reports achieved bandwidth: the
 // paper's observation is that at maximum memory pressure iperf delivers
-// only ~28% of its uncontended bandwidth.
-func Fig5(delays []sim.Time, cfg Fig5Config) []Fig5Row {
-	rows := make([]Fig5Row, 0, len(delays))
-	for _, d := range delays {
-		rows = append(rows, runFig5(d, cfg))
-	}
+// only ~28% of its uncontended bandwidth. Each pressure level is an
+// independent cell (its own engine, controllers and injectors), fanned out
+// over `parallelism` workers.
+func Fig5(delays []sim.Time, cfg Fig5Config, parallelism int) []Fig5Row {
+	rows := make([]Fig5Row, len(delays))
+	forEachCell(len(delays), parallelism, func(i int) {
+		rows[i] = runFig5(delays[i], cfg)
+	})
 	return rows
 }
 

@@ -26,25 +26,27 @@ type Headline struct {
 }
 
 // RunHeadline executes the summary measurement suite. n controls the
-// trace-replay length per cell.
-func RunHeadline(n int) (Headline, error) {
+// trace-replay length per cell; parallelism is the worker knob passed to
+// each underlying sweep (the three studies themselves run in sequence —
+// their cells are where the parallelism lives).
+func RunHeadline(n int, parallelism int) (Headline, error) {
 	var h Headline
 
-	fig11, err := Fig11(Fig11Sizes, 100*sim.Nanosecond)
+	fig11, err := Fig11(Fig11Sizes, 100*sim.Nanosecond, parallelism)
 	if err != nil {
 		return h, err
 	}
 	h.AvgReductionVsDNIC = AverageReduction(fig11, false)
 	h.AvgReductionVsINIC = AverageReduction(fig11, true)
 
-	rows, err := Fig12a(workload.Clusters, PaperSwitchLatencies, n, 3)
+	rows, err := Fig12a(workload.Clusters, PaperSwitchLatencies, n, 3, parallelism)
 	if err != nil {
 		return h, err
 	}
 	h.TraceReductionBySwitch = Fig12aAverages(rows)
 
 	cfg := DefaultFig12bConfig()
-	cells := Fig12b(workload.Clusters, []netfunc.Kind{netfunc.DPI, netfunc.L3F}, cfg)
+	cells := Fig12b(workload.Clusters, []netfunc.Kind{netfunc.DPI, netfunc.L3F}, cfg, parallelism)
 	for _, c := range cells {
 		switch c.Kind {
 		case netfunc.DPI:

@@ -42,11 +42,14 @@ type Fig4Row struct {
 }
 
 // Fig4 reproduces the motivation experiment: one-way latency between two
-// directly connected nodes for the four baseline configurations.
-func Fig4(sizes []int, switchLatency sim.Time) []Fig4Row {
+// directly connected nodes for the four baseline configurations. Each size
+// is an independent cell (fresh machines, shared read-only fabric), fanned
+// out over `parallelism` workers.
+func Fig4(sizes []int, switchLatency sim.Time, parallelism int) []Fig4Row {
 	fabric := ethernet.NewFabric(switchLatency)
-	rows := make([]Fig4Row, 0, len(sizes))
-	for _, size := range sizes {
+	rows := make([]Fig4Row, len(sizes))
+	forEachCell(len(sizes), parallelism, func(i int) {
+		size := sizes[i]
 		p := nic.Packet{Size: size}
 		dn := driver.NewDNICMachine(false)
 		dz := driver.NewDNICMachine(true)
@@ -58,7 +61,7 @@ func Fig4(sizes []int, switchLatency sim.Time) []Fig4Row {
 		inB := driver.OneWay(in, driver.NewINICMachine(false), p, fabric)
 		izB := driver.OneWay(iz, driver.NewINICMachine(true), p, fabric)
 
-		rows = append(rows, Fig4Row{
+		rows[i] = Fig4Row{
 			Size:          size,
 			DNIC:          dnB.Total(),
 			DNICZcpy:      dzB.Total(),
@@ -66,8 +69,8 @@ func Fig4(sizes []int, switchLatency sim.Time) []Fig4Row {
 			INICZcpy:      izB.Total(),
 			PCIeShare:     dn.PCIeShare(p, dnB.Total()),
 			PCIeShareZcpy: dz.PCIeShare(p, dzB.Total()),
-		})
-	}
+		}
+	})
 	return rows
 }
 
@@ -94,25 +97,32 @@ func (r Fig11Row) ReductionVsINIC() float64 {
 // latency for dNIC, iNIC and NetDIMM across packet sizes. Each size uses
 // fresh machines so bank and cache state do not leak across rows; seeds
 // vary per side so TX and RX devices differ.
-func Fig11(sizes []int, switchLatency sim.Time) ([]Fig11Row, error) {
+func Fig11(sizes []int, switchLatency sim.Time, parallelism int) ([]Fig11Row, error) {
 	fabric := ethernet.NewFabric(switchLatency)
-	rows := make([]Fig11Row, 0, len(sizes))
-	for i, size := range sizes {
+	rows := make([]Fig11Row, len(sizes))
+	errs := make([]error, len(sizes))
+	forEachCell(len(sizes), parallelism, func(i int) {
+		size := sizes[i]
 		p := nic.Packet{Size: size}
 		ndTX, err := driver.NewNetDIMMMachine(uint64(2*i + 1))
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		ndRX, err := driver.NewNetDIMMMachine(uint64(2*i + 2))
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		rows = append(rows, Fig11Row{
+		rows[i] = Fig11Row{
 			Size:    size,
 			DNIC:    driver.OneWay(driver.NewDNICMachine(false), driver.NewDNICMachine(false), p, fabric),
 			INIC:    driver.OneWay(driver.NewINICMachine(false), driver.NewINICMachine(false), p, fabric),
 			NetDIMM: driver.OneWay(ndTX, ndRX, p, fabric),
-		})
+		}
+	})
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -25,54 +25,69 @@ type ReplayResult struct {
 // events slice) through the clos fabric under all three architectures and
 // reports per-packet one-way latency statistics — the file-driven variant
 // of Fig. 12(a).
-func ReplayTrace(events []workload.Event, switchLatency sim.Time, seed uint64) ([]ReplayResult, error) {
+func ReplayTrace(events []workload.Event, switchLatency sim.Time, seed uint64, parallelism int) ([]ReplayResult, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("experiments: empty trace")
 	}
 	fabric := ethernet.NewFabric(switchLatency)
 	fabric.Switch.CutThrough = false
 
-	ndTX, err := driver.NewNetDIMMMachine(seed + 1)
-	if err != nil {
+	// Each architecture replays the whole trace on its own machines — an
+	// independent cell; machines never interact across architectures.
+	names := []string{"dNIC", "iNIC", "NetDIMM"}
+	hists := make([]stats.Histogram, len(names))
+	errs := make([]error, len(names))
+	forEachCell(len(names), parallelism, func(i int) {
+		var tx, rx driver.Machine
+		switch names[i] {
+		case "dNIC":
+			m := driver.NewDNICMachine(false)
+			tx, rx = m, m
+		case "iNIC":
+			m := driver.NewINICMachine(false)
+			tx, rx = m, m
+		default:
+			ndTX, err := driver.NewNetDIMMMachine(seed + 1)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ndRX, err := driver.NewNetDIMMMachine(seed + 2)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			tx, rx = ndTX, ndRX
+		}
+		for j, e := range events {
+			p := e.Packet(uint64(j))
+			wire := fabric.WireTime(e.Size, e.Locality)
+			hists[i].Observe(tx.TX(p).Total() + wire + rx.RX(p).Total())
+		}
+	})
+	if err := firstError(errs); err != nil {
 		return nil, err
 	}
-	ndRX, err := driver.NewNetDIMMMachine(seed + 2)
-	if err != nil {
-		return nil, err
-	}
-	dn := driver.NewDNICMachine(false)
-	in := driver.NewINICMachine(false)
-
-	hists := map[string]*stats.Histogram{
-		"dNIC": {}, "iNIC": {}, "NetDIMM": {},
-	}
-	for i, e := range events {
-		p := e.Packet(uint64(i))
-		wire := fabric.WireTime(e.Size, e.Locality)
-		hists["dNIC"].Observe(dn.TX(p).Total() + wire + dn.RX(p).Total())
-		hists["iNIC"].Observe(in.TX(p).Total() + wire + in.RX(p).Total())
-		hists["NetDIMM"].Observe(ndTX.TX(p).Total() + wire + ndRX.RX(p).Total())
-	}
-	var out []ReplayResult
-	for _, name := range []string{"dNIC", "iNIC", "NetDIMM"} {
-		h := hists[name]
-		out = append(out, ReplayResult{
+	out := make([]ReplayResult, len(names))
+	for i, name := range names {
+		h := &hists[i]
+		out[i] = ReplayResult{
 			Arch:    name,
 			Packets: h.Count(),
 			Mean:    h.Mean(),
 			P50:     h.Percentile(50),
 			P99:     h.Percentile(99),
-		})
+		}
 	}
 	return out, nil
 }
 
 // ReplayTraceFile reads a trace stream and replays it.
-func ReplayTraceFile(r io.Reader, switchLatency sim.Time, seed uint64) (trace.Header, []ReplayResult, error) {
+func ReplayTraceFile(r io.Reader, switchLatency sim.Time, seed uint64, parallelism int) (trace.Header, []ReplayResult, error) {
 	h, events, err := trace.Read(r)
 	if err != nil {
 		return trace.Header{}, nil, err
 	}
-	res, err := ReplayTrace(events, switchLatency, seed)
+	res, err := ReplayTrace(events, switchLatency, seed, parallelism)
 	return h, res, err
 }

@@ -11,7 +11,7 @@ import (
 
 func TestReplayTrace(t *testing.T) {
 	events := workload.NewGenerator(workload.Webserver, 0, 5).Generate(300)
-	rows, err := ReplayTrace(events, 100*sim.Nanosecond, 1)
+	rows, err := ReplayTrace(events, 100*sim.Nanosecond, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestReplayTrace(t *testing.T) {
 }
 
 func TestReplayEmptyTrace(t *testing.T) {
-	if _, err := ReplayTrace(nil, 100*sim.Nanosecond, 1); err == nil {
+	if _, err := ReplayTrace(nil, 100*sim.Nanosecond, 1, 0); err == nil {
 		t.Fatal("empty trace accepted")
 	}
 }
@@ -47,7 +47,7 @@ func TestReplayTraceFileRoundTrip(t *testing.T) {
 	if err := trace.Write(&buf, h, events); err != nil {
 		t.Fatal(err)
 	}
-	gotH, rows, err := ReplayTraceFile(&buf, 100*sim.Nanosecond, 2)
+	gotH, rows, err := ReplayTraceFile(&buf, 100*sim.Nanosecond, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

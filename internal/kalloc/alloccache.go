@@ -17,6 +17,12 @@ type AllocCache struct {
 	zone        *Zone
 	perSubarray int
 	cache       map[addrmap.SubarrayKey][]int64
+	// cursor is where the next NoHint lookup starts its bucket scan. A
+	// rotating cursor spreads no-affinity allocations across sub-arrays
+	// (like the kernel's per-CPU freelist rotation) and — unlike ranging
+	// over the map — is deterministic, which the parallel experiment
+	// harness depends on for byte-identical results.
+	cursor int
 
 	hits, slow uint64
 }
@@ -70,11 +76,15 @@ func (c *AllocCache) Get(hint int64) (addr int64, fast bool, err error) {
 			return addr, true, nil
 		}
 	} else {
-		// No affinity requirement: serve from any non-empty bucket.
-		for key, pages := range c.cache {
-			if len(pages) > 0 {
+		// No affinity requirement: serve from the next non-empty bucket in
+		// key order, resuming where the previous no-hint lookup left off.
+		n := c.zone.Buckets()
+		for i := 0; i < n; i++ {
+			key := addrmap.SubarrayKey((c.cursor + i) % n)
+			if pages := c.cache[key]; len(pages) > 0 {
 				addr = pages[len(pages)-1]
 				c.cache[key] = pages[:len(pages)-1]
+				c.cursor = (int(key) + 1) % n
 				c.hits++
 				return addr, true, nil
 			}

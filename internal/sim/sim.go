@@ -7,10 +7,15 @@
 // matters because the experiments in internal/experiments assert quantitative
 // relationships between runs; two simulations built from the same seed must
 // produce identical event interleavings.
+//
+// Event storage is an intrusive slot arena with a free list: event structs
+// live in one slice, the heap orders int32 slot indices, and EventIDs carry
+// a per-slot generation so a stale ID can never cancel the slot's next
+// occupant. Scheduling an event therefore costs no per-event heap pointer
+// and no map insert/delete on the hot path.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -62,55 +67,46 @@ func (t Time) String() string {
 // nearest picosecond.
 func FromNanos(ns float64) Time { return Time(math.Round(ns * float64(Nanosecond))) }
 
-// Event is a scheduled callback. The zero Event is invalid.
+// event is one arena slot. A slot is live while it sits in the heap with
+// dead == false; cancellation is lazy (dead is set, the heap entry stays
+// until popped). gen advances every time the slot is released, invalidating
+// all previously minted EventIDs for it.
 type event struct {
 	when Time
 	seq  uint64 // tie-breaker: schedule order
 	fn   func()
-	id   EventID
-	dead bool // cancelled
+	gen  uint32
+	dead bool // cancelled, heap entry not yet reaped
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// EventID is never issued. Internally it packs (slot+1, generation).
 type EventID uint64
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+func makeID(slot int32, gen uint32) EventID {
+	return EventID(uint64(slot)+1)<<32 | EventID(gen)
 }
 
 // Engine is a single-threaded discrete-event simulator.
 //
 // Engines are not safe for concurrent use; all model components attached to
-// an Engine must schedule and run on the same goroutine.
+// an Engine must schedule and run on the same goroutine. (Independent
+// engines on independent goroutines are fine — that is how the parallel
+// experiment runner fans out.)
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	events  []event // slot arena; grows, never shrinks
+	free    []int32 // released slots available for reuse
+	heap    []int32 // binary heap of live+dead slots by (when, seq)
 	nextSeq uint64
-	nextID  EventID
-	live    map[EventID]*event
+	live    int // scheduled and not cancelled
 	fired   uint64
 	stopped bool
 }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{live: make(map[EventID]*event)}
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -120,7 +116,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are scheduled and not cancelled.
-func (e *Engine) Pending() int { return len(e.live) }
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule runs fn after delay. A negative delay is an error in the caller;
 // it panics because it would corrupt causality.
@@ -136,23 +132,41 @@ func (e *Engine) At(when Time, fn func()) EventID {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e.nextID++
-	ev := &event{when: when, seq: e.nextSeq, fn: fn, id: e.nextID}
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.events = append(e.events, event{})
+		slot = int32(len(e.events) - 1)
+	}
+	ev := &e.events[slot]
+	ev.when = when
+	ev.seq = e.nextSeq
+	ev.fn = fn
+	ev.dead = false
 	e.nextSeq++
-	heap.Push(&e.queue, ev)
-	e.live[ev.id] = ev
-	return ev.id
+	e.live++
+	e.heap = append(e.heap, slot)
+	e.up(len(e.heap) - 1)
+	return makeID(slot, ev.gen)
 }
 
 // Cancel removes a pending event. Cancelling an event that already fired or
-// was already cancelled is a no-op returning false.
+// was already cancelled is a no-op returning false. The heap entry is
+// reaped lazily when it reaches the root.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.live[id]
-	if !ok {
+	slot := int64(id>>32) - 1
+	if slot < 0 || slot >= int64(len(e.events)) {
+		return false
+	}
+	ev := &e.events[slot]
+	if ev.gen != uint32(id) || ev.dead || ev.fn == nil {
 		return false
 	}
 	ev.dead = true
-	delete(e.live, id)
+	ev.fn = nil
+	e.live--
 	return true
 }
 
@@ -160,17 +174,34 @@ func (e *Engine) Cancel(id EventID) bool {
 // completes. Pending events remain queued.
 func (e *Engine) Stop() { e.stopped = true }
 
+// release returns a popped slot to the free list, bumping its generation so
+// outstanding EventIDs for the old occupant can never touch the new one.
+func (e *Engine) release(slot int32) {
+	ev := &e.events[slot]
+	ev.fn = nil
+	ev.dead = false
+	ev.gen++
+	e.free = append(e.free, slot)
+}
+
 // step executes the earliest event. It reports false if none remain.
 func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
+	for len(e.heap) > 0 {
+		slot := e.heap[0]
+		e.popRoot()
+		ev := &e.events[slot]
 		if ev.dead {
+			e.release(slot)
 			continue
 		}
-		delete(e.live, ev.id)
+		fn := ev.fn
 		e.now = ev.when
 		e.fired++
-		ev.fn()
+		e.live--
+		// Release before firing: fn may schedule into the freed slot, and
+		// the generation bump keeps the old ID from reaching the newcomer.
+		e.release(slot)
+		fn()
 		return true
 	}
 	return false
@@ -189,8 +220,8 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
-		ev := e.peek()
-		if ev == nil || ev.when > deadline {
+		when, ok := e.peekWhen()
+		if !ok || when > deadline {
 			break
 		}
 		e.step()
@@ -200,13 +231,69 @@ func (e *Engine) RunUntil(deadline Time) {
 	}
 }
 
-func (e *Engine) peek() *event {
-	for len(e.queue) > 0 {
-		if e.queue[0].dead {
-			heap.Pop(&e.queue)
+// peekWhen reports the timestamp of the earliest live event, reaping dead
+// heap entries encountered at the root.
+func (e *Engine) peekWhen() (Time, bool) {
+	for len(e.heap) > 0 {
+		slot := e.heap[0]
+		ev := &e.events[slot]
+		if ev.dead {
+			e.popRoot()
+			e.release(slot)
 			continue
 		}
-		return e.queue[0]
+		return ev.when, true
 	}
-	return nil
+	return 0, false
+}
+
+// less orders heap positions i, j by (when, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[e.heap[i]], &e.events[e.heap[j]]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// up restores the heap invariant after appending at position i.
+func (e *Engine) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// popRoot removes the heap root and restores the invariant.
+func (e *Engine) popRoot() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap = e.heap[:n]
+	if n > 0 {
+		e.down(0)
+	}
+}
+
+// down sifts position i toward the leaves.
+func (e *Engine) down(i int) {
+	n := len(e.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			return
+		}
+		e.heap[i], e.heap[least] = e.heap[least], e.heap[i]
+		i = least
+	}
 }

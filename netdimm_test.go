@@ -76,7 +76,7 @@ func TestConfigTable(t *testing.T) {
 }
 
 func TestRunFig4Defaults(t *testing.T) {
-	rows := RunFig4(nil, 100*time.Nanosecond)
+	rows := RunFig4(nil, 100*time.Nanosecond, 0)
 	if len(rows) != 8 {
 		t.Fatalf("rows = %d, want the 8 paper sizes", len(rows))
 	}
@@ -88,7 +88,7 @@ func TestRunFig4Defaults(t *testing.T) {
 }
 
 func TestRunFig11Defaults(t *testing.T) {
-	rows, err := RunFig11([]int{64, 1024}, 100*time.Nanosecond)
+	rows, err := RunFig11([]int{64, 1024}, 100*time.Nanosecond, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

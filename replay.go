@@ -17,9 +17,10 @@ type ReplayResult struct {
 }
 
 // ReplayTraceFile replays a trace written by cmd/netdimm-trace through the
-// clos fabric under all three architectures.
-func ReplayTraceFile(r io.Reader, switchLatency time.Duration, seed uint64) (cluster string, results []ReplayResult, err error) {
-	h, rows, err := experiments.ReplayTraceFile(r, simT(switchLatency), seed)
+// clos fabric under all three architectures. parallelism follows the
+// convention of RunFig4 (each architecture is one cell).
+func ReplayTraceFile(r io.Reader, switchLatency time.Duration, seed uint64, parallelism int) (cluster string, results []ReplayResult, err error) {
+	h, rows, err := experiments.ReplayTraceFile(r, simT(switchLatency), seed, parallelism)
 	if err != nil {
 		return "", nil, err
 	}
