@@ -22,7 +22,16 @@ type BandwidthResult struct {
 // Sec. 5.2: all three do; the NetDIMM's single local channel has ample
 // headroom). parallelism follows the convention of RunFig4.
 func RunBandwidth(packets int, parallelism int) ([]BandwidthResult, error) {
-	rows, err := experiments.Bandwidth(packets, parallelism)
+	return RunBandwidthWithConfig(DefaultConfig(), packets, parallelism)
+}
+
+// RunBandwidthWithConfig is RunBandwidth on the system described by cfg
+// (its link rate and local-channel bandwidth).
+func RunBandwidthWithConfig(cfg Config, packets int, parallelism int) ([]BandwidthResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rows, err := experiments.Bandwidth(cfg.spec(), packets, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -80,16 +89,25 @@ type HeaderCacheAblation struct {
 // convention of RunFig4; the clone and alloc studies are inherently
 // sequential and ignore it.
 func RunAblations(parallelism int) (AblationReport, error) {
+	return RunAblationsWithConfig(DefaultConfig(), parallelism)
+}
+
+// RunAblationsWithConfig is RunAblations on the system described by cfg.
+func RunAblationsWithConfig(cfg Config, parallelism int) (AblationReport, error) {
 	var rep AblationReport
-	for _, r := range experiments.PrefetchAblation(nil, 0, parallelism) {
+	if err := cfg.Validate(); err != nil {
+		return rep, err
+	}
+	sp := cfg.spec()
+	for _, r := range experiments.PrefetchAblation(sp, nil, 0, parallelism) {
 		rep.Prefetch = append(rep.Prefetch, PrefetchAblation{
 			Degree: r.Degree, HitRate: r.HitRate, MeanReadLat: toDuration(r.MeanReadLat),
 		})
 	}
-	for _, r := range experiments.CloneAblation() {
+	for _, r := range experiments.CloneAblation(sp) {
 		rep.Clone = append(rep.Clone, CloneAblation{Strategy: r.Strategy, PerClone: toDuration(r.PerClone)})
 	}
-	allocRows, err := experiments.AllocAblation(0)
+	allocRows, err := experiments.AllocAblation(sp, 0)
 	if err != nil {
 		return rep, err
 	}
@@ -98,7 +116,7 @@ func RunAblations(parallelism int) (AblationReport, error) {
 			Strategy: r.Strategy, PerAlloc: toDuration(r.PerAlloc), FPMRate: r.FPMRate,
 		})
 	}
-	for _, r := range experiments.HeaderCacheAblation(0, parallelism) {
+	for _, r := range experiments.HeaderCacheAblation(sp, 0, parallelism) {
 		rep.HeaderCache = append(rep.HeaderCache, HeaderCacheAblation{
 			Strategy: r.Strategy, HeaderRead: toDuration(r.HeaderRead), HitRate: r.HitRate,
 		})

@@ -6,7 +6,8 @@
 //	netdimm-sim [flags] <experiment>
 //
 // Experiments: table1, fig4, fig5, fig7, fig11, fig12a, fig12b, headline,
-// all.
+// all. The -scenario flag selects the simulated system: a named preset
+// (table1, ddr5, pcie-gen3, multi-netdimm-4) or a JSON config file.
 package main
 
 import (
@@ -25,7 +26,35 @@ var (
 	seed      = flag.Uint64("seed", 3, "trace generator seed")
 	asCSV     = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (fig4, fig5, fig7, fig11, fig12a, fig12b)")
 	parallel  = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = all cores, 1 = sequential, N = at most N")
+	scenario  = flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
 )
+
+// command is one experiment the CLI can run. Every runner receives the
+// scenario configuration; `all` replays the inAll commands in order.
+type command struct {
+	name  string
+	help  string
+	inAll bool
+	run   func(cfg netdimm.Config) error
+}
+
+// commands is the single dispatch table: usage, dispatch and `all` iterate
+// over it, so an experiment is declared exactly once.
+var commands = []command{
+	{"table1", "system configuration (paper Table 1, or the scenario's)", true, runTable},
+	{"fig4", "one-way latency of dNIC/dNIC.zcpy/iNIC/iNIC.zcpy + PCIe share", true, runFig4},
+	{"fig5", "iperf bandwidth under MLC memory pressure", true, runFig5},
+	{"fig7", "NIC DMA access locality (six 1514B receptions)", true, runFig7},
+	{"fig11", "one-way latency breakdown: dNIC / iNIC / NetDIMM", true, runFig11},
+	{"fig12a", "cluster trace replay across switch latencies", true, runFig12a},
+	{"fig12b", "co-running app memory latency under DPI and L3F", true, runFig12b},
+	{"bandwidth", "sustained line-rate check (Sec. 5.2)", true, runBandwidth},
+	{"ablation", "design-choice ablations (nPrefetcher, nCache, FPM, allocCache)", true, runAblation},
+	{"mixed", "DDR + NetDIMM coexistence on one channel (NVDIMM-P async, Sec. 2.2)", false, runMixed},
+	{"replay", "F  replay a netdimm-trace file under all three architectures", false, runReplayArg},
+	{"headline", "the abstract's summary numbers", true, runHeadline},
+	{"bench", "machine-readable benchmark report (JSON; see -benchn)", false, func(netdimm.Config) error { return runBench() }},
+}
 
 // csvOut prints one CSV record.
 func csvOut(fields ...string) {
@@ -45,153 +74,121 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	exp := flag.Arg(0)
-	if err := run(exp); err != nil {
+	cfg, err := netdimm.LoadScenario(*scenario)
+	if err == nil {
+		err = run(cfg, flag.Arg(0))
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "netdimm-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: netdimm-sim [flags] <experiment>
-
-experiments:
-  table1   system configuration (paper Table 1)
-  fig4     one-way latency of dNIC/dNIC.zcpy/iNIC/iNIC.zcpy + PCIe share
-  fig5     iperf bandwidth under MLC memory pressure
-  fig7     NIC DMA access locality (six 1514B receptions)
-  fig11    one-way latency breakdown: dNIC / iNIC / NetDIMM
-  fig12a   cluster trace replay across switch latencies
-  fig12b   co-running app memory latency under DPI and L3F
-  bandwidth sustained 40GbE line-rate check (Sec. 5.2)
-  ablation  design-choice ablations (nPrefetcher, nCache, FPM, allocCache)
-  mixed     DDR + NetDIMM coexistence on one channel (NVDIMM-P async, Sec. 2.2)
-  replay F  replay a netdimm-trace file under all three architectures
-  headline the abstract's summary numbers
-  bench    machine-readable benchmark report (JSON; see -benchn)
-  all      everything above
-
-flags:
-`)
+	fmt.Fprintf(os.Stderr, "usage: netdimm-sim [flags] <experiment>\n\nexperiments:\n")
+	for _, c := range commands {
+		fmt.Fprintf(os.Stderr, "  %-9s %s\n", c.name, c.help)
+	}
+	fmt.Fprintf(os.Stderr, "  %-9s %s\n", "all", "every experiment above that needs no extra argument")
+	fmt.Fprintf(os.Stderr, "\nscenarios (for -scenario; or pass a JSON config file):\n  %v\n\nflags:\n",
+		netdimm.Scenarios())
 	flag.PrintDefaults()
 }
 
-func run(exp string) error {
-	switch exp {
-	case "table1":
-		fmt.Print(netdimm.DefaultConfig().Table())
-	case "fig4":
-		runFig4()
-	case "fig5":
-		runFig5()
-	case "fig7":
-		runFig7()
-	case "fig11":
-		return runFig11()
-	case "fig12a":
-		return runFig12a()
-	case "fig12b":
-		runFig12b()
-	case "headline":
-		return runHeadline()
-	case "bench":
-		return runBench()
-	case "bandwidth":
-		return runBandwidth()
-	case "ablation":
-		return runAblation()
-	case "mixed":
-		return runMixed()
-	case "replay":
-		if flag.NArg() != 2 {
-			return fmt.Errorf("replay: usage: netdimm-sim replay FILE")
+func run(cfg netdimm.Config, exp string) error {
+	if exp == "all" {
+		first := true
+		for _, c := range commands {
+			if !c.inAll {
+				continue
+			}
+			if !first {
+				fmt.Println()
+			}
+			first = false
+			if err := c.run(cfg); err != nil {
+				return err
+			}
 		}
-		return runReplay(flag.Arg(1))
-	case "all":
-		fmt.Print(netdimm.DefaultConfig().Table())
-		fmt.Println()
-		runFig4()
-		fmt.Println()
-		runFig5()
-		fmt.Println()
-		runFig7()
-		fmt.Println()
-		if err := runFig11(); err != nil {
-			return err
-		}
-		fmt.Println()
-		if err := runFig12a(); err != nil {
-			return err
-		}
-		fmt.Println()
-		runFig12b()
-		fmt.Println()
-		if err := runBandwidth(); err != nil {
-			return err
-		}
-		fmt.Println()
-		if err := runAblation(); err != nil {
-			return err
-		}
-		fmt.Println()
-		return runHeadline()
-	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+		return nil
 	}
+	for _, c := range commands {
+		if c.name == exp {
+			return c.run(cfg)
+		}
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}
+
+func runTable(cfg netdimm.Config) error {
+	fmt.Print(cfg.Table())
 	return nil
 }
 
-func runFig4() {
+func runFig4(cfg netdimm.Config) error {
+	rows, err := netdimm.RunFig4WithConfig(cfg, nil, *switchLat, *parallel)
+	if err != nil {
+		return err
+	}
 	if *asCSV {
 		csvOut("size", "dnic_ns", "dnic_zcpy_ns", "inic_ns", "inic_zcpy_ns", "pcie_share", "pcie_share_zcpy")
-		for _, r := range netdimm.RunFig4(nil, *switchLat, *parallel) {
+		for _, r := range rows {
 			csvOut(fmt.Sprint(r.Size),
 				fmt.Sprint(r.DNIC.Nanoseconds()), fmt.Sprint(r.DNICZcpy.Nanoseconds()),
 				fmt.Sprint(r.INIC.Nanoseconds()), fmt.Sprint(r.INICZcpy.Nanoseconds()),
 				fmt.Sprintf("%.4f", r.PCIeShare), fmt.Sprintf("%.4f", r.PCIeShareZcpy))
 		}
-		return
+		return nil
 	}
 	fmt.Printf("Fig. 4 — one-way latency, baseline NICs (switch %v)\n", *switchLat)
 	fmt.Printf("%6s  %10s  %10s  %10s  %10s  %10s  %10s\n",
 		"size", "dNIC", "dNIC.zcpy", "iNIC", "iNIC.zcpy", "pcie.overh", "pcie.zcpy")
-	for _, r := range netdimm.RunFig4(nil, *switchLat, *parallel) {
+	for _, r := range rows {
 		fmt.Printf("%6d  %10v  %10v  %10v  %10v  %9.1f%%  %9.1f%%\n",
 			r.Size, r.DNIC, r.DNICZcpy, r.INIC, r.INICZcpy,
 			r.PCIeShare*100, r.PCIeShareZcpy*100)
 	}
+	return nil
 }
 
-func runFig5() {
+func runFig5(cfg netdimm.Config) error {
+	rows, err := netdimm.RunFig5WithConfig(cfg, nil, *parallel)
+	if err != nil {
+		return err
+	}
 	if *asCSV {
 		csvOut("inject_delay_ns", "gbps", "mem_read_ns")
-		for _, r := range netdimm.RunFig5(nil, *parallel) {
+		for _, r := range rows {
 			csvOut(fmt.Sprint(r.InjectDelay.Nanoseconds()),
 				fmt.Sprintf("%.2f", r.BandwidthGbps), fmt.Sprintf("%.1f", r.MemReadNs))
 		}
-		return
+		return nil
 	}
 	fmt.Println("Fig. 5 — iperf bandwidth vs MLC memory pressure")
 	fmt.Printf("%14s  %10s  %12s\n", "inject delay", "Gbps", "mem read ns")
-	for _, r := range netdimm.RunFig5(nil, *parallel) {
+	for _, r := range rows {
 		delay := r.InjectDelay.String()
 		if r.InjectDelay >= time.Second {
 			delay = "none"
 		}
 		fmt.Printf("%14s  %10.1f  %12.0f\n", delay, r.BandwidthGbps, r.MemReadNs)
 	}
+	return nil
 }
 
-func runFig7() {
+func runFig7(cfg netdimm.Config) error {
+	pts, err := netdimm.RunFig7WithConfig(cfg)
+	if err != nil {
+		return err
+	}
 	if *asCSV {
 		csvOut("rel_cacheline", "rel_time_ns", "burst")
-		for _, p := range netdimm.RunFig7() {
+		for _, p := range pts {
 			csvOut(fmt.Sprint(p.RelCacheline), fmt.Sprint(p.RelTime.Nanoseconds()), fmt.Sprint(p.Burst))
 		}
-		return
+		return nil
 	}
 	fmt.Println("Fig. 7 — DMA request trace, six 1514B receptions (rel line, rel ns, burst)")
-	pts := netdimm.RunFig7()
 	for i, p := range pts {
 		fmt.Printf("%4d %8.1f %d", p.RelCacheline, float64(p.RelTime.Nanoseconds()), p.Burst)
 		if (i+1)%4 == 0 {
@@ -201,10 +198,11 @@ func runFig7() {
 		}
 	}
 	fmt.Println()
+	return nil
 }
 
-func runFig11() error {
-	rows, err := netdimm.RunFig11(nil, *switchLat, *parallel)
+func runFig11(cfg netdimm.Config) error {
+	rows, err := netdimm.RunFig11WithConfig(cfg, nil, *switchLat, *parallel)
 	if err != nil {
 		return err
 	}
@@ -238,8 +236,8 @@ func runFig11() error {
 	return nil
 }
 
-func runFig12a() error {
-	rows, err := netdimm.RunFig12a(*packets, *seed, *parallel)
+func runFig12a(cfg netdimm.Config) error {
+	rows, err := netdimm.RunFig12aWithConfig(cfg, *packets, *seed, *parallel)
 	if err != nil {
 		return err
 	}
@@ -263,30 +261,35 @@ func runFig12a() error {
 	return nil
 }
 
-func runFig12b() {
+func runFig12b(cfg netdimm.Config) error {
+	rows, err := netdimm.RunFig12bWithConfig(cfg, *parallel)
+	if err != nil {
+		return err
+	}
 	if *asCSV {
 		csvOut("cluster", "nf", "inic_ns", "netdimm_ns", "norm")
-		for _, r := range netdimm.RunFig12b(*parallel) {
+		for _, r := range rows {
 			csvOut(string(r.Cluster), string(r.Function),
 				fmt.Sprintf("%.2f", r.INICNs), fmt.Sprintf("%.2f", r.NetDIMMNs),
 				fmt.Sprintf("%.4f", r.Norm))
 		}
-		return
+		return nil
 	}
 	fmt.Println("Fig. 12b — co-running app memory latency (normalized to iNIC)")
 	fmt.Printf("%-10s  %-4s  %10s  %10s  %8s\n", "cluster", "nf", "iNIC ns", "ND ns", "norm")
-	for _, r := range netdimm.RunFig12b(*parallel) {
+	for _, r := range rows {
 		fmt.Printf("%-10s  %-4s  %10.1f  %10.1f  %8.3f\n",
 			r.Cluster, r.Function, r.INICNs, r.NetDIMMNs, r.Norm)
 	}
+	return nil
 }
 
-func runBandwidth() error {
-	rows, err := netdimm.RunBandwidth(*packets, *parallel)
+func runBandwidth(cfg netdimm.Config) error {
+	rows, err := netdimm.RunBandwidthWithConfig(cfg, *packets, *parallel)
 	if err != nil {
 		return err
 	}
-	fmt.Println("Bandwidth — sustained 40GbE line-rate check (Sec. 5.2)")
+	fmt.Printf("Bandwidth — sustained %dGbE line-rate check (Sec. 5.2)\n", cfg.NetworkGbps)
 	fmt.Printf("%-8s  %8s  %9s  %11s  %9s  %s\n",
 		"arch", "offered", "achieved", "per-pkt RX", "headroom", "sustained")
 	for _, r := range rows {
@@ -300,8 +303,8 @@ func runBandwidth() error {
 	return nil
 }
 
-func runAblation() error {
-	rep, err := netdimm.RunAblations(*parallel)
+func runAblation(cfg netdimm.Config) error {
+	rep, err := netdimm.RunAblationsWithConfig(cfg, *parallel)
 	if err != nil {
 		return err
 	}
@@ -328,8 +331,8 @@ func runAblation() error {
 	return nil
 }
 
-func runMixed() error {
-	r, err := netdimm.RunMixedChannel(*packets, *seed)
+func runMixed(cfg netdimm.Config) error {
+	r, err := netdimm.RunMixedChannelWithConfig(cfg, *packets, *seed)
 	if err != nil {
 		return err
 	}
@@ -342,13 +345,17 @@ func runMixed() error {
 	return nil
 }
 
-func runReplay(path string) error {
+func runReplayArg(cfg netdimm.Config) error {
+	if flag.NArg() != 2 {
+		return fmt.Errorf("replay: usage: netdimm-sim replay FILE")
+	}
+	path := flag.Arg(1)
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	cluster, rows, err := netdimm.ReplayTraceFile(f, *switchLat, *seed, *parallel)
+	cluster, rows, err := netdimm.ReplayTraceFileWithConfig(cfg, f, *switchLat, *seed, *parallel)
 	if err != nil {
 		return err
 	}
@@ -360,8 +367,8 @@ func runReplay(path string) error {
 	return nil
 }
 
-func runHeadline() error {
-	h, err := netdimm.RunHeadline(*packets, *parallel)
+func runHeadline(cfg netdimm.Config) error {
+	h, err := netdimm.RunHeadlineWithConfig(cfg, *packets, *parallel)
 	if err != nil {
 		return err
 	}

@@ -3,9 +3,15 @@ package netdimm
 import (
 	"fmt"
 	"strings"
+
+	"netdimm/internal/spec"
 )
 
-// Config is the simulated system configuration — the paper's Table 1.
+// Config is the simulated system configuration — the paper's Table 1. It is
+// the single authoritative system specification: every machine constructor
+// and experiment runner derives its per-package parameters (software costs,
+// device config, DRAM timing, PCIe link, Ethernet fabric, NET_i zone
+// placement) from one validated Config.
 type Config struct {
 	Cores         int
 	CoreGHz       float64
@@ -56,6 +62,22 @@ func DefaultConfig() Config {
 		NetDIMMSizeGB: 16,
 	}
 }
+
+// Validate checks the configuration for internal consistency and returns
+// an actionable error for the first violation found: unknown DRAM or PCIe
+// strings, impossible cache geometries, more NetDIMMs than DIMM slots, and
+// so on. Every entry point that accepts a Config validates it first.
+func (c Config) Validate() error {
+	return spec.Spec(c).Validate()
+}
+
+// spec converts the configuration to the internal derivation form (the two
+// structs mirror each other field for field).
+func (c Config) spec() spec.Spec { return spec.Spec(c) }
+
+// derive validates the configuration and resolves it into every
+// per-package parameter set.
+func (c Config) derive() (*spec.Derived, error) { return spec.Spec(c).Derive() }
 
 // Table renders the configuration as the paper's Table 1.
 func (c Config) Table() string {

@@ -11,19 +11,32 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 
 	"netdimm"
 	"netdimm/internal/netfunc"
 )
 
 func main() {
+	scenario := flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
+	flag.Parse()
+	cfg, err := netdimm.LoadScenario(*scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	functionalDemo()
 
 	fmt.Println("\nFig. 12(b) — co-running app memory latency, NetDIMM normalized to iNIC:")
 	fmt.Printf("%-10s  %-4s  %10s  %10s  %8s  %s\n",
 		"cluster", "nf", "iNIC", "NetDIMM", "norm", "meaning")
-	for _, r := range netdimm.RunFig12b(0) {
+	rows, err := netdimm.RunFig12bWithConfig(cfg, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
 		meaning := "NetDIMM interferes less"
 		if r.Norm > 1 {
 			meaning = "NetDIMM interferes more"

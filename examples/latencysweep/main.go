@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -12,19 +13,30 @@ import (
 )
 
 func main() {
+	scenario := flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
+	flag.Parse()
+	cfg, err := netdimm.LoadScenario(*scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	const switchLatency = 100 * time.Nanosecond
 	sizes := []int{10, 60, 200, 500, 1000, 2000, 4000, 8000}
 
 	fmt.Println("Baseline NIC architectures (Fig. 4):")
 	fmt.Printf("%6s  %9s  %9s  %9s  %9s  %10s\n",
 		"size", "dNIC", "dNIC.zcpy", "iNIC", "iNIC.zcpy", "pcie.overh")
-	for _, r := range netdimm.RunFig4(sizes, switchLatency, 0) {
+	fig4, err := netdimm.RunFig4WithConfig(cfg, sizes, switchLatency, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range fig4 {
 		fmt.Printf("%6d  %9v  %9v  %9v  %9v  %9.1f%%\n",
 			r.Size, r.DNIC, r.DNICZcpy, r.INIC, r.INICZcpy, r.PCIeShare*100)
 	}
 
 	fmt.Println("\nNetDIMM vs the baselines (Fig. 11):")
-	rows, err := netdimm.RunFig11(sizes, switchLatency, 0)
+	rows, err := netdimm.RunFig11WithConfig(cfg, sizes, switchLatency, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
@@ -11,13 +12,20 @@ import (
 )
 
 func main() {
-	// Two servers, each with a 16GB NetDIMM (NIC integrated into the DIMM
-	// buffer device, packets living in the DIMM's local DRAM).
-	tx, err := netdimm.NewNetDIMM(1)
+	scenario := flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
+	flag.Parse()
+	cfg, err := netdimm.LoadScenario(*scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rx, err := netdimm.NewNetDIMM(2)
+
+	// Two servers, each with a NetDIMM (NIC integrated into the DIMM
+	// buffer device, packets living in the DIMM's local DRAM).
+	tx, err := netdimm.NewNetDIMMWithConfig(cfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rx, err := netdimm.NewNetDIMMWithConfig(cfg, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,14 +33,22 @@ func main() {
 	const packet = 256 // bytes
 	const switchLatency = 100 * time.Nanosecond
 
-	nd, err := netdimm.OneWayLatency(tx, rx, packet, switchLatency)
+	nd, err := netdimm.OneWayLatencyWithConfig(cfg, tx, rx, packet, switchLatency)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("NetDIMM one-way %dB packet:\n  %v\n\n", packet, nd)
 
 	// The same transfer through conventional PCIe NICs.
-	dn, err := netdimm.OneWayLatency(netdimm.NewDNIC(false), netdimm.NewDNIC(false), packet, switchLatency)
+	txN, err := netdimm.NewDNICWithConfig(cfg, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rxN, err := netdimm.NewDNICWithConfig(cfg, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dn, err := netdimm.OneWayLatencyWithConfig(cfg, txN, rxN, packet, switchLatency)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,6 +13,13 @@ import (
 )
 
 func main() {
+	scenario := flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
+	flag.Parse()
+	cfg, err := netdimm.LoadScenario(*scenario)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// First show what the three cluster workloads look like.
 	for _, cluster := range netdimm.AllClusters {
 		events := netdimm.GenerateTrace(cluster, 5000, 42)
@@ -35,7 +43,7 @@ func main() {
 
 	// Replay each cluster across the paper's switch-latency sweep.
 	fmt.Println("\nFig. 12(a) replay — NetDIMM latency normalized to dNIC and iNIC:")
-	rows, err := netdimm.RunFig12a(1500, 7, 0)
+	rows, err := netdimm.RunFig12aWithConfig(cfg, 1500, 7, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -50,7 +50,15 @@ func (k NFKind) internal() netfunc.Kind {
 	return netfunc.L3F
 }
 
-func simT(d time.Duration) sim.Time { return sim.Time(d.Nanoseconds()) * sim.Nanosecond }
+func simT(d time.Duration) sim.Time { return sim.FromDuration(d) }
+
+// mustValid asserts that a built-in configuration validates; the default
+// runners pass DefaultConfig, which is pinned valid by the test suite.
+func mustValid(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
 
 // Fig4Result is one row of the Fig. 4 motivation experiment.
 type Fig4Result struct {
@@ -71,10 +79,20 @@ type Fig4Result struct {
 // most N workers. Results are identical for every setting. The same knob
 // appears on every Run* sweep below.
 func RunFig4(sizes []int, switchLatency time.Duration, parallelism int) []Fig4Result {
+	out, err := RunFig4WithConfig(DefaultConfig(), sizes, switchLatency, parallelism)
+	mustValid(err)
+	return out
+}
+
+// RunFig4WithConfig is RunFig4 on the system described by cfg.
+func RunFig4WithConfig(cfg Config, sizes []int, switchLatency time.Duration, parallelism int) ([]Fig4Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(sizes) == 0 {
 		sizes = experiments.PaperSizes
 	}
-	rows := experiments.Fig4(sizes, simT(switchLatency), parallelism)
+	rows := experiments.Fig4(cfg.spec(), sizes, simT(switchLatency), parallelism)
 	out := make([]Fig4Result, len(rows))
 	for i, r := range rows {
 		out[i] = Fig4Result{
@@ -87,7 +105,7 @@ func RunFig4(sizes []int, switchLatency time.Duration, parallelism int) []Fig4Re
 			PCIeShareZcpy: r.PCIeShareZcpy,
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig5Result is one memory-pressure level of Fig. 5.
@@ -101,6 +119,17 @@ type Fig5Result struct {
 // pressure. A nil delay slice uses a representative sweep from idle to
 // maximum pressure.
 func RunFig5(delays []time.Duration, parallelism int) []Fig5Result {
+	out, err := RunFig5WithConfig(DefaultConfig(), delays, parallelism)
+	mustValid(err)
+	return out
+}
+
+// RunFig5WithConfig is RunFig5 on the system described by cfg (its DRAM
+// timing, memory-controller config and link rate).
+func RunFig5WithConfig(cfg Config, delays []time.Duration, parallelism int) ([]Fig5Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	var ds []sim.Time
 	if len(delays) == 0 {
 		ds = []sim.Time{
@@ -113,7 +142,7 @@ func RunFig5(delays []time.Duration, parallelism int) []Fig5Result {
 			ds = append(ds, simT(d))
 		}
 	}
-	rows := experiments.Fig5(ds, experiments.DefaultFig5Config(), parallelism)
+	rows := experiments.Fig5(cfg.spec(), ds, experiments.DefaultFig5Config(), parallelism)
 	out := make([]Fig5Result, len(rows))
 	for i, r := range rows {
 		out[i] = Fig5Result{
@@ -122,7 +151,7 @@ func RunFig5(delays []time.Duration, parallelism int) []Fig5Result {
 			MemReadNs:     r.MemReadNs,
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Fig7Result is one DMA memory request of the Fig. 7 locality study.
@@ -135,12 +164,23 @@ type Fig7Result struct {
 // RunFig7 regenerates Fig. 7: the per-cacheline DMA request trace of six
 // received 1514B packets.
 func RunFig7() []Fig7Result {
-	pts := experiments.Fig7()
+	out, err := RunFig7WithConfig(DefaultConfig())
+	mustValid(err)
+	return out
+}
+
+// RunFig7WithConfig is RunFig7 on the system described by cfg (its link
+// rate and PCIe DMA bandwidth).
+func RunFig7WithConfig(cfg Config) ([]Fig7Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pts := experiments.Fig7(cfg.spec())
 	out := make([]Fig7Result, len(pts))
 	for i, p := range pts {
 		out[i] = Fig7Result{RelCacheline: p.RelLine, RelTime: toDuration(p.RelTime), Burst: p.Burst}
 	}
-	return out
+	return out, nil
 }
 
 // Fig11Result is one packet size's breakdown comparison.
@@ -156,10 +196,18 @@ type Fig11Result struct {
 // RunFig11 regenerates Fig. 11: the one-way latency breakdown of dNIC,
 // iNIC and NetDIMM across packet sizes.
 func RunFig11(sizes []int, switchLatency time.Duration, parallelism int) ([]Fig11Result, error) {
+	return RunFig11WithConfig(DefaultConfig(), sizes, switchLatency, parallelism)
+}
+
+// RunFig11WithConfig is RunFig11 on the system described by cfg.
+func RunFig11WithConfig(cfg Config, sizes []int, switchLatency time.Duration, parallelism int) ([]Fig11Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if len(sizes) == 0 {
 		sizes = experiments.PaperSizes
 	}
-	rows, err := experiments.Fig11(sizes, simT(switchLatency), parallelism)
+	rows, err := experiments.Fig11(cfg.spec(), sizes, simT(switchLatency), parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -191,10 +239,18 @@ type Fig12aResult struct {
 // RunFig12a regenerates Fig. 12(a): cluster trace replay across switch
 // latencies. packets controls the trace length per cell (0 = 1000).
 func RunFig12a(packets int, seed uint64, parallelism int) ([]Fig12aResult, error) {
+	return RunFig12aWithConfig(DefaultConfig(), packets, seed, parallelism)
+}
+
+// RunFig12aWithConfig is RunFig12a on the system described by cfg.
+func RunFig12aWithConfig(cfg Config, packets int, seed uint64, parallelism int) ([]Fig12aResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	if packets <= 0 {
 		packets = 1000
 	}
-	rows, err := experiments.Fig12a(workload.Clusters, experiments.PaperSwitchLatencies, packets, seed, parallelism)
+	rows, err := experiments.Fig12a(cfg.spec(), workload.Clusters, experiments.PaperSwitchLatencies, packets, seed, parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +281,17 @@ type Fig12bResult struct {
 // RunFig12b regenerates Fig. 12(b): co-running application memory latency
 // under DPI and L3F, NetDIMM normalised to iNIC.
 func RunFig12b(parallelism int) []Fig12bResult {
-	rows := experiments.Fig12b(workload.Clusters,
+	out, err := RunFig12bWithConfig(DefaultConfig(), parallelism)
+	mustValid(err)
+	return out
+}
+
+// RunFig12bWithConfig is RunFig12b on the system described by cfg.
+func RunFig12bWithConfig(cfg Config, parallelism int) ([]Fig12bResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rows := experiments.Fig12b(cfg.spec(), workload.Clusters,
 		[]netfunc.Kind{netfunc.DPI, netfunc.L3F}, experiments.DefaultFig12bConfig(), parallelism)
 	out := make([]Fig12bResult, len(rows))
 	for i, r := range rows {
@@ -237,7 +303,7 @@ func RunFig12b(parallelism int) []Fig12bResult {
 			Norm:      r.Norm(),
 		}
 	}
-	return out
+	return out, nil
 }
 
 // HeadlineResult carries the abstract's summary numbers as measured.
@@ -251,10 +317,18 @@ type HeadlineResult struct {
 
 // RunHeadline measures the paper's headline numbers.
 func RunHeadline(packets int, parallelism int) (HeadlineResult, error) {
+	return RunHeadlineWithConfig(DefaultConfig(), packets, parallelism)
+}
+
+// RunHeadlineWithConfig is RunHeadline on the system described by cfg.
+func RunHeadlineWithConfig(cfg Config, packets int, parallelism int) (HeadlineResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return HeadlineResult{}, err
+	}
 	if packets <= 0 {
 		packets = 500
 	}
-	h, err := experiments.RunHeadline(packets, parallelism)
+	h, err := experiments.RunHeadline(cfg.spec(), packets, parallelism)
 	if err != nil {
 		return HeadlineResult{}, err
 	}

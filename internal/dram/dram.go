@@ -12,6 +12,7 @@ package dram
 
 import (
 	"fmt"
+	"strings"
 
 	"netdimm/internal/addrmap"
 	"netdimm/internal/sim"
@@ -90,6 +91,20 @@ func DDR5_4800() Timing {
 		TBL:                  6 * tck, // 64B burst slot at 2x DDR4 sustained bandwidth (25.6GB/s)
 		TWR:                  36 * tck,
 		BandwidthBytesPerSec: 25.6e9,
+	}
+}
+
+// ParseTiming resolves a DRAM name from a system configuration (Table 1's
+// "DDR4-2400" string) to its timing set. Matching is case-insensitive and
+// accepts the bare generation ("DDR5") as an alias for its only speed grade.
+func ParseTiming(name string) (Timing, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "DDR4-2400", "DDR4":
+		return DDR4_2400(), nil
+	case "DDR5-4800", "DDR5":
+		return DDR5_4800(), nil
+	default:
+		return Timing{}, fmt.Errorf("dram: unknown DRAM %q (known: DDR4-2400, DDR5-4800)", name)
 	}
 }
 

@@ -7,8 +7,14 @@ import "netdimm/internal/cpu"
 // a small factor (asserted by tests in internal/cpu and here); using the
 // derived set is an ablation of the calibration itself: the paper's
 // qualitative results must not depend on the exact constants.
-func CostsFromModel() Costs {
-	c := cpu.Derive(cpu.TableOne())
+func CostsFromModel() Costs { return CostsFromParams(cpu.TableOne()) }
+
+// CostsFromParams derives the software-stack cost set from an arbitrary
+// core parameter set. A system configuration whose core deviates from
+// Table 1 has no hand-calibrated constants to fall back on, so its costs
+// come from the first-order core model instead.
+func CostsFromParams(p cpu.Params) Costs {
+	c := cpu.Derive(p)
 	return Costs{
 		SKBAlloc:         c.SKBAlloc,
 		CopyFixed:        c.CopyFixed,

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"netdimm/internal/addrmap"
 	"netdimm/internal/core"
 	"netdimm/internal/ethernet"
 	"netdimm/internal/kalloc"
@@ -19,24 +20,66 @@ func OneWay(tx, rx Machine, p nic.Packet, fabric ethernet.Fabric) stats.Breakdow
 	return b.Plus(rx.RX(p))
 }
 
+// NewMachine wraps a NIC device model and a software cost set into a
+// polled-driver endpoint — the constructor a derived system configuration
+// uses for dNIC and iNIC endpoints.
+func NewMachine(dev nic.Device, costs Costs, zeroCopy bool) *HWDriver {
+	return &HWDriver{Dev: dev, Costs: costs, ZeroCopy: zeroCopy}
+}
+
 // NewDNICMachine returns the baseline discrete-PCIe-NIC configuration.
 func NewDNICMachine(zeroCopy bool) *HWDriver {
-	return &HWDriver{Dev: nic.NewDNIC(), Costs: DefaultCosts(), ZeroCopy: zeroCopy}
+	return NewMachine(nic.NewDNIC(), DefaultCosts(), zeroCopy)
 }
 
 // NewINICMachine returns the integrated-NIC configuration.
 func NewINICMachine(zeroCopy bool) *HWDriver {
-	return &HWDriver{Dev: nic.NewINIC(), Costs: DefaultCosts(), ZeroCopy: zeroCopy}
+	return NewMachine(nic.NewINIC(), DefaultCosts(), zeroCopy)
+}
+
+// DefaultZoneBases lays out n NetDIMM regions of the given size behind
+// Table 1's 16GB of host DDR (two channels, page-granule interleave) and
+// returns their NET_i zone bases. Configurations other than Table 1 derive
+// bases from their own addrmap.SystemMap; this is the default the
+// no-config constructors below share.
+func DefaultZoneBases(n int, size int64) []int64 {
+	const channels = 2
+	specs := make([]addrmap.NetDIMMSpec, n)
+	for i := range specs {
+		specs[i] = addrmap.NetDIMMSpec{Channel: i % channels, Size: size}
+	}
+	m, err := addrmap.NewSystemMap(channels, 16<<30, addrmap.PageSize, specs...)
+	if err != nil {
+		panic(err) // unreachable: the default layout is statically valid
+	}
+	bases := make([]int64, n)
+	for i := range bases {
+		r, err := m.NetDIMMRegion(i)
+		if err != nil {
+			panic(err)
+		}
+		bases[i] = r.Base
+	}
+	return bases
 }
 
 // NewNetDIMMMachine builds a complete NetDIMM endpoint: engine, device,
-// NET_0 zone and driver. The zone base matches a 16GB-DDR system map where
-// the NetDIMM region starts at 16GB.
+// NET_0 zone and driver, using the Table 1 configuration. The zone base
+// comes from the default flex-mode address map (the NetDIMM region starts
+// where the host DDR ends).
 func NewNetDIMMMachine(seed uint64) (*NetDIMMDriver, error) {
-	eng := sim.NewEngine()
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
+	size := int64(cfg.Ranks) * addrmap.RankBytes
+	return NewNetDIMMMachineWith(cfg, DefaultZoneBases(1, size)[0], DefaultCosts())
+}
+
+// NewNetDIMMMachineWith builds a NetDIMM endpoint from an explicit device
+// configuration, NET_0 zone base and software cost set — the constructor a
+// derived system configuration uses.
+func NewNetDIMMMachineWith(cfg core.Config, zoneBase int64, costs Costs) (*NetDIMMDriver, error) {
+	eng := sim.NewEngine()
 	dev := core.NewDevice(eng, cfg)
-	zone := kalloc.NewNetDIMMZone("NET_0", 16<<30, dev.Size())
-	return NewNetDIMMDriver(eng, dev, zone, DefaultCosts())
+	zone := kalloc.NewNetDIMMZone("NET_0", zoneBase, dev.Size())
+	return NewNetDIMMDriver(eng, dev, zone, costs)
 }

@@ -3,6 +3,7 @@ package driver
 import (
 	"fmt"
 
+	"netdimm/internal/addrmap"
 	"netdimm/internal/core"
 	"netdimm/internal/kalloc"
 	"netdimm/internal/nic"
@@ -29,20 +30,34 @@ type System struct {
 	firstPackets uint64
 }
 
-// NewSystem builds a server with n NetDIMMs. Zones are laid out per the
-// flex-mode address map: NET_i starts at 16GB + i*16GB.
+// NewSystem builds a server with n NetDIMMs in the Table 1 configuration.
+// Zone bases come from the default flex-mode address map: NET_i regions are
+// stacked behind the host DDR region.
 func NewSystem(n int, seed uint64) (*System, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("driver: system needs at least one NetDIMM, got %d", n)
 	}
+	cfg := core.DefaultConfig()
+	size := int64(cfg.Ranks) * addrmap.RankBytes
+	return NewSystemWith(cfg, DefaultZoneBases(n, size), DefaultCosts(), seed)
+}
+
+// NewSystemWith builds a server with len(bases) NetDIMMs from an explicit
+// device configuration, per-DIMM NET_i zone bases and software cost set —
+// the constructor a derived system configuration uses. NetDIMM i's device
+// seeds with seed+i so distinct DIMMs draw distinct replacement streams.
+func NewSystemWith(cfg core.Config, bases []int64, costs Costs, seed uint64) (*System, error) {
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("driver: system needs at least one NetDIMM zone base")
+	}
 	eng := sim.NewEngine()
 	s := &System{eng: eng, conns: make(map[uint64]int)}
-	for i := 0; i < n; i++ {
-		cfg := core.DefaultConfig()
-		cfg.Seed = seed + uint64(i)
-		dev := core.NewDevice(eng, cfg)
-		zone := kalloc.NewNetDIMMZone(fmt.Sprintf("NET_%d", i), 16<<30+int64(i)*dev.Size(), dev.Size())
-		d, err := NewNetDIMMDriver(eng, dev, zone, DefaultCosts())
+	for i, base := range bases {
+		c := cfg
+		c.Seed = seed + uint64(i)
+		dev := core.NewDevice(eng, c)
+		zone := kalloc.NewNetDIMMZone(fmt.Sprintf("NET_%d", i), base, dev.Size())
+		d, err := NewNetDIMMDriver(eng, dev, zone, costs)
 		if err != nil {
 			return nil, fmt.Errorf("driver: NetDIMM %d: %w", i, err)
 		}

@@ -22,8 +22,12 @@ type Link struct {
 }
 
 // Link40G returns the paper's 40GbE link with a typical short-reach PHY.
-func Link40G() Link {
-	return Link{BitsPerSec: 40e9, PHYLatency: 50 * sim.Nanosecond}
+func Link40G() Link { return LinkGbps(40) }
+
+// LinkGbps returns a link at the given line rate with the same short-reach
+// PHY as Link40G — the knob a system configuration's NetworkGbps drives.
+func LinkGbps(gbps float64) Link {
+	return Link{BitsPerSec: gbps * 1e9, PHYLatency: 50 * sim.Nanosecond}
 }
 
 // SerializeTime returns the wire occupancy of one frame of n bytes,
@@ -96,10 +100,17 @@ type Fabric struct {
 	InterDCPropagation sim.Time
 }
 
-// NewFabric returns a clos fabric with the given switch latency.
+// NewFabric returns a clos fabric of 40GbE links with the given switch
+// latency.
 func NewFabric(switchLatency sim.Time) Fabric {
+	return NewFabricWith(Link40G(), switchLatency)
+}
+
+// NewFabricWith returns a clos fabric built from the given link model —
+// the constructor a derived system configuration uses.
+func NewFabricWith(link Link, switchLatency sim.Time) Fabric {
 	return Fabric{
-		Link:               Link40G(),
+		Link:               link,
 		Switch:             Switch{Latency: switchLatency, CutThrough: true},
 		InterDCPropagation: 5 * sim.Microsecond,
 	}

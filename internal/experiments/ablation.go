@@ -4,10 +4,10 @@ import (
 	"netdimm/internal/addrmap"
 	"netdimm/internal/core"
 	"netdimm/internal/dram"
-	"netdimm/internal/driver"
 	"netdimm/internal/kalloc"
 	"netdimm/internal/nic"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 )
 
 // Ablations quantify the contribution of each NetDIMM design choice the
@@ -26,7 +26,7 @@ type PrefetchAblationRow struct {
 // through the memory channel for several nPrefetcher degrees. The paper's
 // claim: with the next-line prefetcher, "reading an entire RX packet may
 // only experience one nCache miss" (Sec. 4.1).
-func PrefetchAblation(degrees []int, packets int, parallelism int) []PrefetchAblationRow {
+func PrefetchAblation(sp spec.Spec, degrees []int, packets int, parallelism int) []PrefetchAblationRow {
 	if len(degrees) == 0 {
 		degrees = []int{0, 1, 2, 4, 8}
 	}
@@ -37,7 +37,7 @@ func PrefetchAblation(degrees []int, packets int, parallelism int) []PrefetchAbl
 	forEachCell(len(degrees), parallelism, func(cell int) {
 		deg := degrees[cell]
 		eng := sim.NewEngine()
-		cfg := core.DefaultConfig()
+		cfg := sp.MustDerive().Core
 		cfg.PrefetchDegree = deg
 		dev := core.NewDevice(eng, cfg)
 
@@ -80,10 +80,11 @@ type CloneAblationRow struct {
 // CloneAblation quantifies why sub-array-affine allocation matters (paper
 // Sec. 4.1/4.2.1): an FPM clone vs PSM vs GCM vs a conventional CPU copy
 // of one MTU packet.
-func CloneAblation() []CloneAblationRow {
+func CloneAblation(sp spec.Spec) []CloneAblationRow {
+	d := sp.MustDerive()
 	eng := sim.NewEngine()
-	dev := core.NewDevice(eng, core.DefaultConfig())
-	costs := driver.DefaultCosts()
+	dev := core.NewDevice(eng, d.Core)
+	costs := d.Costs
 
 	src := int64(0)
 	fpmDst := src + addrmap.SameSubarrayPageStride
@@ -113,15 +114,16 @@ type AllocAblationRow struct {
 //
 // AllocAblation stays sequential: strategy 2 reuses the FPM rate measured
 // by strategy 1, so the strategies are not independent cells.
-func AllocAblation(packets int) ([]AllocAblationRow, error) {
+func AllocAblation(sp spec.Spec, packets int) ([]AllocAblationRow, error) {
 	if packets <= 0 {
 		packets = 300
 	}
-	costs := driver.DefaultCosts()
+	d := sp.MustDerive()
+	costs := d.Costs
 
 	// Strategy 1: allocCache (the paper's design) — measured on the real
 	// driver.
-	nd, err := driver.NewNetDIMMMachine(21)
+	nd, err := d.NewNetDIMM(21)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +149,7 @@ func AllocAblation(packets int) ([]AllocAblationRow, error) {
 	// Strategy 3: hint-less allocation — a conventional buddy allocator
 	// hands back physically sequential pages, which land in different
 	// banks/sub-arrays (Fig. 9c), so the clone degrades to PSM/GCM.
-	zone := kalloc.NewNetDIMMZone("NET_x", 16<<30, 16<<30)
+	zone := kalloc.NewNetDIMMZone("NET_x", d.ZoneBase(0), int64(d.Spec.NetDIMMSizeGB)<<30)
 	var fpmCount, total int
 	rxBuf, _ := zone.AllocPage()
 	for i := 0; i < packets; i++ {
@@ -176,13 +178,13 @@ type HeaderCacheAblationRow struct {
 // HeaderCacheAblation measures the nCache contribution to header
 // processing (the L3F-style access pattern): header reads with the nCache
 // enabled vs a device with a zero-line cache.
-func HeaderCacheAblation(packets int, parallelism int) []HeaderCacheAblationRow {
+func HeaderCacheAblation(sp spec.Spec, packets int, parallelism int) []HeaderCacheAblationRow {
 	if packets <= 0 {
 		packets = 200
 	}
 	run := func(lines int) HeaderCacheAblationRow {
 		eng := sim.NewEngine()
-		cfg := core.DefaultConfig()
+		cfg := sp.MustDerive().Core
 		name := "nCache enabled (512 lines)"
 		if lines > 0 {
 			cfg.NCacheLines = lines

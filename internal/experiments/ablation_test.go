@@ -4,10 +4,11 @@ import (
 	"testing"
 
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 )
 
 func TestPrefetchAblation(t *testing.T) {
-	rows := PrefetchAblation([]int{0, 4}, 20, 1)
+	rows := PrefetchAblation(spec.TableOne(), []int{0, 4}, 20, 1)
 	if len(rows) != 2 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -29,7 +30,7 @@ func TestPrefetchAblation(t *testing.T) {
 }
 
 func TestPrefetchAblationMonotone(t *testing.T) {
-	rows := PrefetchAblation([]int{1, 2, 4}, 15, 0)
+	rows := PrefetchAblation(spec.TableOne(), []int{1, 2, 4}, 15, 0)
 	for i := 1; i < len(rows); i++ {
 		if rows[i].HitRate+0.02 < rows[i-1].HitRate {
 			t.Fatalf("hit rate fell with degree: %+v", rows)
@@ -38,7 +39,7 @@ func TestPrefetchAblationMonotone(t *testing.T) {
 }
 
 func TestCloneAblationOrdering(t *testing.T) {
-	rows := CloneAblation()
+	rows := CloneAblation(spec.TableOne())
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -53,7 +54,7 @@ func TestCloneAblationOrdering(t *testing.T) {
 }
 
 func TestAllocAblation(t *testing.T) {
-	rows, err := AllocAblation(200)
+	rows, err := AllocAblation(spec.TableOne(), 200)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestAllocAblation(t *testing.T) {
 }
 
 func TestHeaderCacheAblation(t *testing.T) {
-	rows := HeaderCacheAblation(100, 0)
+	rows := HeaderCacheAblation(spec.TableOne(), 100, 0)
 	on, off := rows[0], rows[1]
 	if on.HitRate < 0.9 {
 		t.Fatalf("nCache header hit rate = %.2f, want ~1", on.HitRate)
@@ -88,7 +89,7 @@ func TestHeaderCacheAblation(t *testing.T) {
 }
 
 func TestBandwidthSustained(t *testing.T) {
-	rows, err := Bandwidth(300, 0)
+	rows, err := Bandwidth(spec.TableOne(), 300, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"netdimm/internal/driver"
-	"netdimm/internal/ethernet"
 	"netdimm/internal/nic"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/stats"
 )
 
@@ -39,18 +39,18 @@ const RSSCores = 4
 // path is the binding side: TX is paced by the same stages. Per-packet
 // driver work spreads over RSSCores (receive-side scaling), as in any
 // 40GbE deployment; NIC DMA and the wire pipeline with the CPU.
-func Bandwidth(packets int, parallelism int) ([]BandwidthResult, error) {
+func Bandwidth(sp spec.Spec, packets int, parallelism int) ([]BandwidthResult, error) {
 	if packets <= 0 {
 		packets = 2000
 	}
-	link := ethernet.Link40G()
-	gap := link.SerializeTime(nic.MTU) // line-rate arrival spacing
-	wireBytes := float64(nic.MTU + nic.EthernetOverheadBytes)
 
 	// Each architecture is an independent cell with its own machine.
 	out := make([]BandwidthResult, 3)
 	errs := make([]error, 3)
 	forEachCell(3, parallelism, func(i int) {
+		d := sp.MustDerive()
+		gap := d.Link.SerializeTime(nic.MTU) // line-rate arrival spacing
+		wireBytes := float64(nic.MTU + nic.EthernetOverheadBytes)
 		switch i {
 		case 0:
 			// NetDIMM: event-driven; packets arrive every gap and the
@@ -58,7 +58,7 @@ func Bandwidth(packets int, parallelism int) ([]BandwidthResult, error) {
 			// bound. The device pipeline overlaps DMA with driver work, so
 			// sustained throughput is bounded by the slower of the two; we
 			// measure the serialized driver cost as the conservative bound.
-			nd, err := driver.NewNetDIMMMachine(11)
+			nd, err := d.NewNetDIMM(11)
 			if err != nil {
 				errs[i] = err
 				return
@@ -67,14 +67,15 @@ func Bandwidth(packets int, parallelism int) ([]BandwidthResult, error) {
 			for p := 0; p < packets; p++ {
 				busy += driverSerial(nd.RX(nic.Packet{Size: nic.MTU}))
 			}
-			out[i] = result("NetDIMM", gap, busy/sim.Time(packets), wireBytes, 12.8e9)
+			out[i] = result("NetDIMM", gap, busy/sim.Time(packets), wireBytes,
+				d.Core.LocalTiming.BandwidthBytesPerSec)
 		default:
 			// dNIC and iNIC: analytic per-packet RX costs.
 			var m driver.Machine
 			if i == 1 {
-				m = driver.NewDNICMachine(false)
+				m = d.NewDNIC(false)
 			} else {
-				m = driver.NewINICMachine(false)
+				m = d.NewINIC(false)
 			}
 			var sum sim.Time
 			for p := 0; p < 32; p++ {

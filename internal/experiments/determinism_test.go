@@ -6,6 +6,7 @@ import (
 
 	"netdimm/internal/netfunc"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/workload"
 )
 
@@ -26,32 +27,32 @@ func TestParallelMatchesSequential(t *testing.T) {
 		run  func(parallelism int) (any, error)
 	}{
 		{"Fig4", func(p int) (any, error) {
-			return Fig4([]int{10, 200, 2000}, 100*sim.Nanosecond, p), nil
+			return Fig4(spec.TableOne(), []int{10, 200, 2000}, 100*sim.Nanosecond, p), nil
 		}},
 		{"Fig5", func(p int) (any, error) {
-			return Fig5([]sim.Time{sim.Second, 100 * sim.Nanosecond, 5 * sim.Nanosecond}, fig5cfg, p), nil
+			return Fig5(spec.TableOne(), []sim.Time{sim.Second, 100 * sim.Nanosecond, 5 * sim.Nanosecond}, fig5cfg, p), nil
 		}},
 		{"Fig11", func(p int) (any, error) {
-			return Fig11([]int{64, 1024}, 100*sim.Nanosecond, p)
+			return Fig11(spec.TableOne(), []int{64, 1024}, 100*sim.Nanosecond, p)
 		}},
 		{"Fig12a", func(p int) (any, error) {
-			return Fig12a(workload.Clusters, PaperSwitchLatencies[:2], 60, 3, p)
+			return Fig12a(spec.TableOne(), workload.Clusters, PaperSwitchLatencies[:2], 60, 3, p)
 		}},
 		{"Fig12b", func(p int) (any, error) {
-			return Fig12b(workload.Clusters[:2], []netfunc.Kind{netfunc.DPI, netfunc.L3F}, fig12bcfg, p), nil
+			return Fig12b(spec.TableOne(), workload.Clusters[:2], []netfunc.Kind{netfunc.DPI, netfunc.L3F}, fig12bcfg, p), nil
 		}},
 		{"PrefetchAblation", func(p int) (any, error) {
-			return PrefetchAblation([]int{0, 2, 4}, 15, p), nil
+			return PrefetchAblation(spec.TableOne(), []int{0, 2, 4}, 15, p), nil
 		}},
 		{"HeaderCacheAblation", func(p int) (any, error) {
-			return HeaderCacheAblation(60, p), nil
+			return HeaderCacheAblation(spec.TableOne(), 60, p), nil
 		}},
 		{"Bandwidth", func(p int) (any, error) {
-			return Bandwidth(100, p)
+			return Bandwidth(spec.TableOne(), 100, p)
 		}},
 		{"ReplayTrace", func(p int) (any, error) {
 			gen := workload.NewGenerator(workload.Hadoop, 0, 5)
-			return ReplayTrace(gen.Generate(150), 100*sim.Nanosecond, 9, p)
+			return ReplayTrace(spec.TableOne(), gen.Generate(150), 100*sim.Nanosecond, 9, p)
 		}},
 	}
 	for _, tc := range cases {
@@ -77,11 +78,11 @@ func TestHeadlineParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("headline determinism check skipped under -short")
 	}
-	seq, err := RunHeadline(80, 1)
+	seq, err := RunHeadline(spec.TableOne(), 80, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunHeadline(80, 8)
+	par, err := RunHeadline(spec.TableOne(), 80, 8)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"netdimm/internal/netfunc"
 	"netdimm/internal/nic"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/stats"
 	"netdimm/internal/workload"
 )
@@ -15,7 +16,7 @@ import (
 // ---- Fig. 4 ----
 
 func TestFig4Shapes(t *testing.T) {
-	rows := Fig4([]int{10, 60, 200, 500, 1000, 2000}, 100*sim.Nanosecond, 1)
+	rows := Fig4(spec.TableOne(), []int{10, 60, 200, 500, 1000, 2000}, 100*sim.Nanosecond, 1)
 	for i, r := range rows {
 		// iNIC beats dNIC; zero copy beats copying on each architecture.
 		if !(r.INIC < r.DNIC) {
@@ -51,7 +52,7 @@ func TestFig4Shapes(t *testing.T) {
 // ---- Fig. 11 / headline latency ----
 
 func TestFig11PaperShape(t *testing.T) {
-	rows, err := Fig11(Fig11Sizes, 100*sim.Nanosecond, 1)
+	rows, err := Fig11(spec.TableOne(), Fig11Sizes, 100*sim.Nanosecond, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestFig11PaperShape(t *testing.T) {
 func TestFig5BandwidthCollapse(t *testing.T) {
 	cfg := DefaultFig5Config()
 	cfg.Duration = 1 * sim.Millisecond
-	rows := Fig5([]sim.Time{sim.Second, 500 * sim.Nanosecond, 20 * sim.Nanosecond, 5 * sim.Nanosecond}, cfg, 0)
+	rows := Fig5(spec.TableOne(), []sim.Time{sim.Second, 500 * sim.Nanosecond, 20 * sim.Nanosecond, 5 * sim.Nanosecond}, cfg, 0)
 	base := rows[0].BandwidthGbps
 	if base < 35 || base > 41 {
 		t.Fatalf("uncontended bandwidth = %.1f Gbps, want ~40", base)
@@ -123,7 +124,7 @@ func TestFig5BandwidthCollapse(t *testing.T) {
 // ---- Fig. 7 ----
 
 func TestFig7BurstStructure(t *testing.T) {
-	pts := Fig7()
+	pts := Fig7(spec.TableOne())
 	// Six packets x 24 cachelines.
 	if len(pts) != 6*24 {
 		t.Fatalf("points = %d, want 144", len(pts))
@@ -158,7 +159,7 @@ func TestFig7BurstStructure(t *testing.T) {
 // ---- Fig. 12a ----
 
 func TestFig12aPaperShape(t *testing.T) {
-	rows, err := Fig12a(workload.Clusters, PaperSwitchLatencies, 400, 3, 0)
+	rows, err := Fig12a(spec.TableOne(), workload.Clusters, PaperSwitchLatencies, 400, 3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +204,7 @@ func TestFig12aPaperShape(t *testing.T) {
 func TestFig12bPaperShape(t *testing.T) {
 	cfg := DefaultFig12bConfig()
 	cfg.Duration = 300 * sim.Microsecond
-	rows := Fig12b(workload.Clusters, []netfunc.Kind{netfunc.DPI, netfunc.L3F}, cfg, 0)
+	rows := Fig12b(spec.TableOne(), workload.Clusters, []netfunc.Kind{netfunc.DPI, netfunc.L3F}, cfg, 0)
 	norms := map[workload.Cluster]map[netfunc.Kind]float64{}
 	for _, r := range rows {
 		if norms[r.Cluster] == nil {
@@ -242,7 +243,7 @@ func TestHeadlineNumbers(t *testing.T) {
 	if testing.Short() {
 		t.Skip("headline suite is slow")
 	}
-	h, err := RunHeadline(200, 0)
+	h, err := RunHeadline(spec.TableOne(), 200, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,8 @@
 package experiments
 
 import (
-	"netdimm/internal/driver"
-	"netdimm/internal/ethernet"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/stats"
 	"netdimm/internal/workload"
 )
@@ -46,13 +45,13 @@ var PaperSwitchLatencies = []sim.Time{
 // per-packet latency under each NIC architecture. The clos switches are
 // store-and-forward, so MTU-heavy traffic (hadoop) pays per-hop
 // re-serialisation, reproducing the paper's cluster ordering.
-func Fig12a(clusters []workload.Cluster, switchLats []sim.Time, n int, seed uint64, parallelism int) ([]Fig12aRow, error) {
+func Fig12a(sp spec.Spec, clusters []workload.Cluster, switchLats []sim.Time, n int, seed uint64, parallelism int) ([]Fig12aRow, error) {
 	rows := make([]Fig12aRow, len(clusters)*len(switchLats))
 	errs := make([]error, len(rows))
 	forEachCell(len(rows), parallelism, func(idx int) {
 		cl := clusters[idx/len(switchLats)]
 		sl := switchLats[idx%len(switchLats)]
-		rows[idx], errs[idx] = fig12aCell(cl, sl, n, seed)
+		rows[idx], errs[idx] = fig12aCell(sp.MustDerive(), cl, sl, n, seed)
 	})
 	if err := firstError(errs); err != nil {
 		return nil, err
@@ -63,21 +62,21 @@ func Fig12a(clusters []workload.Cluster, switchLats []sim.Time, n int, seed uint
 // fig12aCell measures one (cluster, switch latency) grid point. Every cell
 // regenerates its trace and machines from the same seed, so cells are
 // fully independent of each other.
-func fig12aCell(cl workload.Cluster, sl sim.Time, n int, seed uint64) (Fig12aRow, error) {
-	fabric := ethernet.NewFabric(sl)
+func fig12aCell(d *spec.Derived, cl workload.Cluster, sl sim.Time, n int, seed uint64) (Fig12aRow, error) {
+	fabric := d.Fabric(sl)
 	fabric.Switch.CutThrough = false
 
 	events := workload.NewGenerator(cl, 0, seed).Generate(n)
-	ndTX, err := driver.NewNetDIMMMachine(seed*2 + 1)
+	ndTX, err := d.NewNetDIMM(seed*2 + 1)
 	if err != nil {
 		return Fig12aRow{}, err
 	}
-	ndRX, err := driver.NewNetDIMMMachine(seed*2 + 2)
+	ndRX, err := d.NewNetDIMM(seed*2 + 2)
 	if err != nil {
 		return Fig12aRow{}, err
 	}
-	dn := driver.NewDNICMachine(false)
-	in := driver.NewINICMachine(false)
+	dn := d.NewDNIC(false)
+	in := d.NewINIC(false)
 
 	var dnSum, inSum, ndSum sim.Time
 	for i, e := range events {

@@ -3,10 +3,10 @@ package experiments
 import (
 	"netdimm/internal/addrmap"
 	"netdimm/internal/cache"
-	"netdimm/internal/dram"
 	"netdimm/internal/memctrl"
 	"netdimm/internal/netfunc"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/stats"
 	"netdimm/internal/workload"
 )
@@ -72,14 +72,14 @@ func DefaultFig12bConfig() Fig12bConfig {
 // Each (cluster, function, architecture) run is its own cell — the finest
 // grain available, 2 cells per output row — fanned out over `parallelism`
 // workers and reassembled in grid order.
-func Fig12b(clusters []workload.Cluster, kinds []netfunc.Kind, cfg Fig12bConfig, parallelism int) []Fig12bRow {
+func Fig12b(sp spec.Spec, clusters []workload.Cluster, kinds []netfunc.Kind, cfg Fig12bConfig, parallelism int) []Fig12bRow {
 	nRows := len(clusters) * len(kinds)
 	vals := make([]float64, 2*nRows) // [2*row] = iNIC, [2*row+1] = NetDIMM
 	forEachCell(2*nRows, parallelism, func(idx int) {
 		row := idx / 2
 		cl := clusters[row/len(kinds)]
 		k := kinds[row%len(kinds)]
-		vals[idx] = runInterference(cl, k, idx%2 == 1, cfg)
+		vals[idx] = runInterference(sp.MustDerive(), cl, k, idx%2 == 1, cfg)
 	})
 	rows := make([]Fig12bRow, nRows)
 	for row := range rows {
@@ -94,10 +94,10 @@ func Fig12b(clusters []workload.Cluster, kinds []netfunc.Kind, cfg Fig12bConfig,
 }
 
 // runInterference returns the app's mean memory access latency in ns.
-func runInterference(cl workload.Cluster, kind netfunc.Kind, netdimm bool, cfg Fig12bConfig) float64 {
+func runInterference(d *spec.Derived, cl workload.Cluster, kind netfunc.Kind, netdimm bool, cfg Fig12bConfig) float64 {
 	eng := sim.NewEngine()
-	rs := memctrl.NewRankSet(dram.DDR4_2400(), 2)
-	mc := memctrl.New(eng, memctrl.DefaultConfig(), rs)
+	rs := memctrl.NewRankSet(d.HostTiming, 2)
+	mc := memctrl.New(eng, d.MC, rs)
 	llc := cache.New(cache.LLC2MB())
 	llc.WritebackFn = func(addr int64) {
 		mc.Submit(&memctrl.Request{Addr: addr, Write: true, Bytes: addrmap.CachelineSize})

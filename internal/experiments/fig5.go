@@ -2,11 +2,10 @@ package experiments
 
 import (
 	"netdimm/internal/addrmap"
-	"netdimm/internal/dram"
-	"netdimm/internal/ethernet"
 	"netdimm/internal/memctrl"
 	"netdimm/internal/nic"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/workload"
 )
 
@@ -50,15 +49,16 @@ func DefaultFig5Config() Fig5Config {
 	}
 }
 
-// Fig5 sweeps the injector delay and reports achieved bandwidth: the
-// paper's observation is that at maximum memory pressure iperf delivers
-// only ~28% of its uncontended bandwidth. Each pressure level is an
-// independent cell (its own engine, controllers and injectors), fanned out
-// over `parallelism` workers.
-func Fig5(delays []sim.Time, cfg Fig5Config, parallelism int) []Fig5Row {
+// Fig5 sweeps the injector delay and reports achieved bandwidth on the
+// system described by sp (host DRAM timing, controller config and link
+// rate all derive from it): the paper's observation is that at maximum
+// memory pressure iperf delivers only ~28% of its uncontended bandwidth.
+// Each pressure level is an independent cell (its own engine, controllers
+// and injectors), fanned out over `parallelism` workers.
+func Fig5(sp spec.Spec, delays []sim.Time, cfg Fig5Config, parallelism int) []Fig5Row {
 	rows := make([]Fig5Row, len(delays))
 	forEachCell(len(delays), parallelism, func(i int) {
-		rows[i] = runFig5(delays[i], cfg)
+		rows[i] = runFig5(sp.MustDerive(), delays[i], cfg)
 	})
 	return rows
 }
@@ -82,17 +82,17 @@ type fig5Rig struct {
 	activeCores int
 }
 
-func runFig5(delay sim.Time, cfg Fig5Config) Fig5Row {
+func runFig5(d *spec.Derived, delay sim.Time, cfg Fig5Config) Fig5Row {
 	eng := sim.NewEngine()
 	rig := &fig5Rig{
 		eng: eng,
 		cfg: cfg,
-		// 1538 wire bytes per MTU frame at 40Gbps.
-		frameGap: ethernet.Link40G().SerializeTime(nic.MTU),
+		// 1538 wire bytes per MTU frame at line rate.
+		frameGap: d.Link.SerializeTime(nic.MTU),
 	}
 	var injectors []*workload.Injector
 	for ch := 0; ch < cfg.Channels; ch++ {
-		mc := memctrl.New(eng, memctrl.DefaultConfig(), memctrl.NewRankSet(dram.DDR4_2400(), 2))
+		mc := memctrl.New(eng, d.MC, memctrl.NewRankSet(d.HostTiming, 2))
 		rig.mcs = append(rig.mcs, mc)
 		// MLC pressure: 1:1 read/write over a large working set on every
 		// channel. The injector is disabled with a non-positive... a very

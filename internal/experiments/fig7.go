@@ -1,10 +1,9 @@
 package experiments
 
 import (
-	"netdimm/internal/ethernet"
 	"netdimm/internal/nic"
-	"netdimm/internal/pcie"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 )
 
 // Fig7Point is one DMA memory request as plotted in the paper's Fig. 7:
@@ -17,14 +16,15 @@ type Fig7Point struct {
 }
 
 // Fig7 reproduces the NIC DMA access-pattern study: the memory requests
-// generated while receiving six back-to-back 1514B packets on a 40GbE NIC.
-// Each arrival produces a burst of 24 cacheline writes paced at the PCIe
-// DMA rate — the spatial/temporal locality that motivates nCache and
+// generated while receiving six back-to-back 1514B packets on the system's
+// NIC. Each arrival produces a burst of 24 cacheline writes paced at the
+// PCIe DMA rate — the spatial/temporal locality that motivates nCache and
 // nPrefetcher (Sec. 4.1).
-func Fig7() []Fig7Point {
+func Fig7(sp spec.Spec) []Fig7Point {
 	const packets = 6
-	link := ethernet.Link40G()
-	dmaBW := pcie.NewLink(pcie.Gen4, 8).EffectiveBandwidth(256)
+	d := sp.MustDerive()
+	link := d.Link
+	dmaBW := d.PCIe.EffectiveBandwidth(256)
 
 	var out []Fig7Point
 	var t0 sim.Time

@@ -3,6 +3,7 @@ package experiments
 import (
 	"netdimm/internal/netfunc"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/workload"
 )
 
@@ -29,24 +30,24 @@ type Headline struct {
 // trace-replay length per cell; parallelism is the worker knob passed to
 // each underlying sweep (the three studies themselves run in sequence —
 // their cells are where the parallelism lives).
-func RunHeadline(n int, parallelism int) (Headline, error) {
+func RunHeadline(sp spec.Spec, n int, parallelism int) (Headline, error) {
 	var h Headline
 
-	fig11, err := Fig11(Fig11Sizes, 100*sim.Nanosecond, parallelism)
+	fig11, err := Fig11(sp, Fig11Sizes, 100*sim.Nanosecond, parallelism)
 	if err != nil {
 		return h, err
 	}
 	h.AvgReductionVsDNIC = AverageReduction(fig11, false)
 	h.AvgReductionVsINIC = AverageReduction(fig11, true)
 
-	rows, err := Fig12a(workload.Clusters, PaperSwitchLatencies, n, 3, parallelism)
+	rows, err := Fig12a(sp, workload.Clusters, PaperSwitchLatencies, n, 3, parallelism)
 	if err != nil {
 		return h, err
 	}
 	h.TraceReductionBySwitch = Fig12aAverages(rows)
 
 	cfg := DefaultFig12bConfig()
-	cells := Fig12b(workload.Clusters, []netfunc.Kind{netfunc.DPI, netfunc.L3F}, cfg, parallelism)
+	cells := Fig12b(sp, workload.Clusters, []netfunc.Kind{netfunc.DPI, netfunc.L3F}, cfg, parallelism)
 	for _, c := range cells {
 		switch c.Kind {
 		case netfunc.DPI:

@@ -16,9 +16,9 @@ package experiments
 
 import (
 	"netdimm/internal/driver"
-	"netdimm/internal/ethernet"
 	"netdimm/internal/nic"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/stats"
 )
 
@@ -42,24 +42,25 @@ type Fig4Row struct {
 }
 
 // Fig4 reproduces the motivation experiment: one-way latency between two
-// directly connected nodes for the four baseline configurations. Each size
-// is an independent cell (fresh machines, shared read-only fabric), fanned
-// out over `parallelism` workers.
-func Fig4(sizes []int, switchLatency sim.Time, parallelism int) []Fig4Row {
-	fabric := ethernet.NewFabric(switchLatency)
+// directly connected nodes for the four baseline configurations, on the
+// system described by sp. Each size is an independent cell (fresh machines
+// and derived parameters per cell), fanned out over `parallelism` workers.
+func Fig4(sp spec.Spec, sizes []int, switchLatency sim.Time, parallelism int) []Fig4Row {
 	rows := make([]Fig4Row, len(sizes))
 	forEachCell(len(sizes), parallelism, func(i int) {
+		d := sp.MustDerive()
+		fabric := d.Fabric(switchLatency)
 		size := sizes[i]
 		p := nic.Packet{Size: size}
-		dn := driver.NewDNICMachine(false)
-		dz := driver.NewDNICMachine(true)
-		in := driver.NewINICMachine(false)
-		iz := driver.NewINICMachine(true)
+		dn := d.NewDNIC(false)
+		dz := d.NewDNIC(true)
+		in := d.NewINIC(false)
+		iz := d.NewINIC(true)
 
-		dnB := driver.OneWay(dn, driver.NewDNICMachine(false), p, fabric)
-		dzB := driver.OneWay(dz, driver.NewDNICMachine(true), p, fabric)
-		inB := driver.OneWay(in, driver.NewINICMachine(false), p, fabric)
-		izB := driver.OneWay(iz, driver.NewINICMachine(true), p, fabric)
+		dnB := driver.OneWay(dn, d.NewDNIC(false), p, fabric)
+		dzB := driver.OneWay(dz, d.NewDNIC(true), p, fabric)
+		inB := driver.OneWay(in, d.NewINIC(false), p, fabric)
+		izB := driver.OneWay(iz, d.NewINIC(true), p, fabric)
 
 		rows[i] = Fig4Row{
 			Size:          size,
@@ -94,30 +95,31 @@ func (r Fig11Row) ReductionVsINIC() float64 {
 }
 
 // Fig11 reproduces the central latency experiment: per-component one-way
-// latency for dNIC, iNIC and NetDIMM across packet sizes. Each size uses
-// fresh machines so bank and cache state do not leak across rows; seeds
-// vary per side so TX and RX devices differ.
-func Fig11(sizes []int, switchLatency sim.Time, parallelism int) ([]Fig11Row, error) {
-	fabric := ethernet.NewFabric(switchLatency)
+// latency for dNIC, iNIC and NetDIMM across packet sizes, on the system
+// described by sp. Each size uses fresh machines so bank and cache state do
+// not leak across rows; seeds vary per side so TX and RX devices differ.
+func Fig11(sp spec.Spec, sizes []int, switchLatency sim.Time, parallelism int) ([]Fig11Row, error) {
 	rows := make([]Fig11Row, len(sizes))
 	errs := make([]error, len(sizes))
 	forEachCell(len(sizes), parallelism, func(i int) {
+		d := sp.MustDerive()
+		fabric := d.Fabric(switchLatency)
 		size := sizes[i]
 		p := nic.Packet{Size: size}
-		ndTX, err := driver.NewNetDIMMMachine(uint64(2*i + 1))
+		ndTX, err := d.NewNetDIMM(uint64(2*i + 1))
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		ndRX, err := driver.NewNetDIMMMachine(uint64(2*i + 2))
+		ndRX, err := d.NewNetDIMM(uint64(2*i + 2))
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		rows[i] = Fig11Row{
 			Size:    size,
-			DNIC:    driver.OneWay(driver.NewDNICMachine(false), driver.NewDNICMachine(false), p, fabric),
-			INIC:    driver.OneWay(driver.NewINICMachine(false), driver.NewINICMachine(false), p, fabric),
+			DNIC:    driver.OneWay(d.NewDNIC(false), d.NewDNIC(false), p, fabric),
+			INIC:    driver.OneWay(d.NewINIC(false), d.NewINIC(false), p, fabric),
 			NetDIMM: driver.OneWay(ndTX, ndRX, p, fabric),
 		}
 	})

@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"netdimm/internal/core"
-	"netdimm/internal/dram"
 	"netdimm/internal/memctrl"
 	"netdimm/internal/nvdimmp"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/stats"
 )
 
@@ -28,14 +28,15 @@ type MixedChannelResult struct {
 // NetDIMM reads (served by the buffer device through nCache misses into
 // busy local DRAM) over one channel, tracking every transaction with the
 // NVDIMM-P request-ID machinery.
-func MixedChannel(n int, seed uint64) (MixedChannelResult, error) {
+func MixedChannel(sp spec.Spec, n int, seed uint64) (MixedChannelResult, error) {
 	if n <= 0 {
 		n = 200
 	}
+	d := sp.MustDerive()
 	eng := sim.NewEngine()
-	ddr := memctrl.New(eng, memctrl.DefaultConfig(), memctrl.NewRankSet(dram.DDR4_2400(), 1))
+	ddr := memctrl.New(eng, d.MC, memctrl.NewRankSet(d.HostTiming, 1))
 
-	cfg := core.DefaultConfig()
+	cfg := d.Core
 	cfg.Seed = seed
 	dev := core.NewDevice(eng, cfg)
 	// Keep the NetDIMM's local DRAM busy with nNIC traffic, so host reads

@@ -5,8 +5,8 @@ import (
 	"io"
 
 	"netdimm/internal/driver"
-	"netdimm/internal/ethernet"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/stats"
 	"netdimm/internal/trace"
 	"netdimm/internal/workload"
@@ -25,12 +25,10 @@ type ReplayResult struct {
 // events slice) through the clos fabric under all three architectures and
 // reports per-packet one-way latency statistics — the file-driven variant
 // of Fig. 12(a).
-func ReplayTrace(events []workload.Event, switchLatency sim.Time, seed uint64, parallelism int) ([]ReplayResult, error) {
+func ReplayTrace(sp spec.Spec, events []workload.Event, switchLatency sim.Time, seed uint64, parallelism int) ([]ReplayResult, error) {
 	if len(events) == 0 {
 		return nil, fmt.Errorf("experiments: empty trace")
 	}
-	fabric := ethernet.NewFabric(switchLatency)
-	fabric.Switch.CutThrough = false
 
 	// Each architecture replays the whole trace on its own machines — an
 	// independent cell; machines never interact across architectures.
@@ -38,21 +36,24 @@ func ReplayTrace(events []workload.Event, switchLatency sim.Time, seed uint64, p
 	hists := make([]stats.Histogram, len(names))
 	errs := make([]error, len(names))
 	forEachCell(len(names), parallelism, func(i int) {
+		d := sp.MustDerive()
+		fabric := d.Fabric(switchLatency)
+		fabric.Switch.CutThrough = false
 		var tx, rx driver.Machine
 		switch names[i] {
 		case "dNIC":
-			m := driver.NewDNICMachine(false)
+			m := d.NewDNIC(false)
 			tx, rx = m, m
 		case "iNIC":
-			m := driver.NewINICMachine(false)
+			m := d.NewINIC(false)
 			tx, rx = m, m
 		default:
-			ndTX, err := driver.NewNetDIMMMachine(seed + 1)
+			ndTX, err := d.NewNetDIMM(seed + 1)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			ndRX, err := driver.NewNetDIMMMachine(seed + 2)
+			ndRX, err := d.NewNetDIMM(seed + 2)
 			if err != nil {
 				errs[i] = err
 				return
@@ -83,11 +84,11 @@ func ReplayTrace(events []workload.Event, switchLatency sim.Time, seed uint64, p
 }
 
 // ReplayTraceFile reads a trace stream and replays it.
-func ReplayTraceFile(r io.Reader, switchLatency sim.Time, seed uint64, parallelism int) (trace.Header, []ReplayResult, error) {
+func ReplayTraceFile(sp spec.Spec, r io.Reader, switchLatency sim.Time, seed uint64, parallelism int) (trace.Header, []ReplayResult, error) {
 	h, events, err := trace.Read(r)
 	if err != nil {
 		return trace.Header{}, nil, err
 	}
-	res, err := ReplayTrace(events, switchLatency, seed, parallelism)
+	res, err := ReplayTrace(sp, events, switchLatency, seed, parallelism)
 	return h, res, err
 }

@@ -5,13 +5,14 @@ import (
 	"testing"
 
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 	"netdimm/internal/trace"
 	"netdimm/internal/workload"
 )
 
 func TestReplayTrace(t *testing.T) {
 	events := workload.NewGenerator(workload.Webserver, 0, 5).Generate(300)
-	rows, err := ReplayTrace(events, 100*sim.Nanosecond, 1, 0)
+	rows, err := ReplayTrace(spec.TableOne(), events, 100*sim.Nanosecond, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestReplayTrace(t *testing.T) {
 }
 
 func TestReplayEmptyTrace(t *testing.T) {
-	if _, err := ReplayTrace(nil, 100*sim.Nanosecond, 1, 0); err == nil {
+	if _, err := ReplayTrace(spec.TableOne(), nil, 100*sim.Nanosecond, 1, 0); err == nil {
 		t.Fatal("empty trace accepted")
 	}
 }
@@ -47,7 +48,7 @@ func TestReplayTraceFileRoundTrip(t *testing.T) {
 	if err := trace.Write(&buf, h, events); err != nil {
 		t.Fatal(err)
 	}
-	gotH, rows, err := ReplayTraceFile(&buf, 100*sim.Nanosecond, 2, 0)
+	gotH, rows, err := ReplayTraceFile(spec.TableOne(), &buf, 100*sim.Nanosecond, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestReplayTraceFileRoundTrip(t *testing.T) {
 }
 
 func TestMixedChannel(t *testing.T) {
-	res, err := MixedChannel(300, 4)
+	res, err := MixedChannel(spec.TableOne(), 300, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestMixedChannel(t *testing.T) {
 }
 
 func TestMixedChannelOutOfOrder(t *testing.T) {
-	res, err := MixedChannel(400, 11)
+	res, err := MixedChannel(spec.TableOne(), 400, 11)
 	if err != nil {
 		t.Fatal(err)
 	}

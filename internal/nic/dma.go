@@ -78,8 +78,12 @@ type DNIC struct {
 }
 
 // NewDNIC returns the Table 1 dNIC: x8 PCIe Gen4.
-func NewDNIC() DNIC {
-	return DNIC{Link: pcie.NewLink(pcie.Gen4, 8), HostMemLatency: 50 * sim.Nanosecond}
+func NewDNIC() DNIC { return NewDNICWith(pcie.NewLink(pcie.Gen4, 8)) }
+
+// NewDNICWith returns a dNIC attached over the given PCIe link — the
+// constructor a derived system configuration uses.
+func NewDNICWith(link pcie.Link) DNIC {
+	return DNIC{Link: link, HostMemLatency: 50 * sim.Nanosecond}
 }
 
 // Regs implements Device.

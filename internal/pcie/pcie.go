@@ -8,6 +8,8 @@ package pcie
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"netdimm/internal/sim"
 )
@@ -18,6 +20,7 @@ type Gen int
 const (
 	Gen3 Gen = 3
 	Gen4 Gen = 4
+	Gen5 Gen = 5
 )
 
 // perLaneGBps returns the raw per-lane data rate in bytes/s after line
@@ -28,6 +31,8 @@ func (g Gen) perLaneBytesPerSec() float64 {
 		return 8e9 / 8 * (128.0 / 130.0) // 8 GT/s
 	case Gen4:
 		return 16e9 / 8 * (128.0 / 130.0) // 16 GT/s
+	case Gen5:
+		return 32e9 / 8 * (128.0 / 130.0) // 32 GT/s
 	default:
 		panic(fmt.Sprintf("pcie: unsupported generation %d", int(g)))
 	}
@@ -74,6 +79,46 @@ func NewLink(g Gen, lanes int) Link {
 
 // String renders e.g. "PCIe Gen4 x8".
 func (l Link) String() string { return fmt.Sprintf("PCIe Gen%d x%d", int(l.Gen), l.Lanes) }
+
+// ParseLink resolves a PCIe description from a system configuration
+// (Table 1's "x8 PCIe Gen4" string) to a link with [59]-calibrated
+// constants. Tokens may appear in any order and case: a lane count is
+// "x<N>", a generation is "Gen<N>" (3, 4 or 5), and the literal "PCIe" is
+// ignored.
+func ParseLink(s string) (Link, error) {
+	gen, lanes := 0, 0
+	for _, tok := range strings.Fields(s) {
+		lower := strings.ToLower(tok)
+		switch {
+		case lower == "pcie":
+		case strings.HasPrefix(lower, "gen"):
+			n, err := strconv.Atoi(lower[len("gen"):])
+			if err != nil || gen != 0 {
+				return Link{}, parseLinkErr(s)
+			}
+			gen = n
+		case strings.HasPrefix(lower, "x"):
+			n, err := strconv.Atoi(lower[len("x"):])
+			if err != nil || lanes != 0 {
+				return Link{}, parseLinkErr(s)
+			}
+			lanes = n
+		default:
+			return Link{}, parseLinkErr(s)
+		}
+	}
+	if gen < int(Gen3) || gen > int(Gen5) {
+		return Link{}, fmt.Errorf("pcie: unsupported generation in %q (known: Gen3, Gen4, Gen5)", s)
+	}
+	if lanes < 1 || lanes > 32 {
+		return Link{}, fmt.Errorf("pcie: lane count in %q must be x1..x32", s)
+	}
+	return NewLink(Gen(gen), lanes), nil
+}
+
+func parseLinkErr(s string) error {
+	return fmt.Errorf("pcie: cannot parse link %q (expected e.g. \"x8 PCIe Gen4\")", s)
+}
 
 // RawBandwidth returns bytes/s per direction before TLP overhead.
 func (l Link) RawBandwidth() float64 {

@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 // Time is a simulated instant or duration in integer picoseconds.
@@ -66,6 +67,23 @@ func (t Time) String() string {
 // FromNanos converts a float64 nanosecond count to a Time, rounding to the
 // nearest picosecond.
 func FromNanos(ns float64) Time { return Time(math.Round(ns * float64(Nanosecond))) }
+
+// FromDuration converts a time.Duration to a Time exactly: a Duration is an
+// integer nanosecond count and Time is integer picoseconds, so the
+// conversion is a multiplication by 1000, not a truncation. Durations whose
+// picosecond count does not fit in int64 (beyond roughly ±106 days)
+// saturate to ±MaxTime instead of overflowing.
+func FromDuration(d time.Duration) Time {
+	const maxNs = int64(MaxTime) / int64(Nanosecond)
+	ns := d.Nanoseconds()
+	if ns > maxNs {
+		return MaxTime
+	}
+	if ns < -maxNs {
+		return -MaxTime
+	}
+	return Time(ns) * Nanosecond
+}
 
 // event is one arena slot. A slot is live while it sits in the heap with
 // dead == false; cancellation is lazy (dead is set, the heap entry stays

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestTimeUnits(t *testing.T) {
@@ -308,5 +310,42 @@ func TestPendingCount(t *testing.T) {
 	e.Run()
 	if e.Pending() != 0 {
 		t.Fatalf("Pending after run = %d", e.Pending())
+	}
+}
+
+func TestFromDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want Time
+	}{
+		{0, 0},
+		{time.Nanosecond, Nanosecond},
+		{100 * time.Nanosecond, 100 * Nanosecond},
+		{time.Microsecond, Microsecond},
+		{time.Second, Second},
+		{-5 * time.Nanosecond, -5 * Nanosecond},
+		// Durations too large for the picosecond domain saturate instead
+		// of overflowing into the past.
+		{time.Duration(math.MaxInt64), MaxTime},
+		{time.Duration(math.MinInt64), -MaxTime},
+		{200 * 24 * time.Hour, MaxTime},
+	}
+	for _, c := range cases {
+		if got := FromDuration(c.d); got != c.want {
+			t.Errorf("FromDuration(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+// FromDuration must agree with the naive conversion everywhere the naive
+// conversion is exact — the paper's experiments live in this range.
+func TestFromDurationMatchesNaive(t *testing.T) {
+	for _, d := range []time.Duration{
+		time.Nanosecond, 25 * time.Nanosecond, 3 * time.Microsecond,
+		7 * time.Millisecond, 42 * time.Second, time.Hour,
+	} {
+		if got, want := FromDuration(d), Time(d.Nanoseconds())*Nanosecond; got != want {
+			t.Errorf("FromDuration(%v) = %v, naive = %v", d, got, want)
+		}
 	}
 }

@@ -1,0 +1,273 @@
+// Package spec is the configuration plane: it maps one validated system
+// specification (the paper's Table 1, or any scenario derived from it) to
+// the parameter sets of every substrate package — software costs, NetDIMM
+// device config, memory-controller config, DRAM timing, PCIe link,
+// Ethernet fabric and the flex-mode address map with its NET_i zone bases.
+//
+// The root netdimm package's Config converts to Spec one-to-one; the
+// internal experiment runners consume the derived form, so every model
+// constant in an experiment flows from one validated specification instead
+// of per-package defaults.
+package spec
+
+import (
+	"fmt"
+
+	"netdimm/internal/addrmap"
+	"netdimm/internal/core"
+	"netdimm/internal/cpu"
+	"netdimm/internal/dram"
+	"netdimm/internal/driver"
+	"netdimm/internal/ethernet"
+	"netdimm/internal/memctrl"
+	"netdimm/internal/nic"
+	"netdimm/internal/pcie"
+	"netdimm/internal/sim"
+)
+
+// Spec is the full simulated-system specification. Its fields mirror the
+// root netdimm.Config exactly (same names, types and order), so the two
+// structs convert directly.
+type Spec struct {
+	Cores         int
+	CoreGHz       float64
+	SuperscalarW  int
+	ROBEntries    int
+	IQEntries     int
+	LQEntries     int
+	SQEntries     int
+	L1ISizeKB     int
+	L1DSizeKB     int
+	L2SizeMB      int
+	L1ILatCycles  int
+	L1DLatCycles  int
+	L2LatCycles   int
+	DRAM          string
+	DRAMSizeGB    int
+	MemChannels   int
+	NetworkGbps   int
+	SwitchLatNs   int
+	NetDIMMs      int
+	PCIe          string
+	NetDIMMSizeGB int
+}
+
+// TableOne returns the paper's Table 1 specification.
+func TableOne() Spec {
+	return Spec{
+		Cores:         8,
+		CoreGHz:       3.4,
+		SuperscalarW:  3,
+		ROBEntries:    40,
+		IQEntries:     32,
+		LQEntries:     16,
+		SQEntries:     16,
+		L1ISizeKB:     32,
+		L1DSizeKB:     64,
+		L2SizeMB:      2,
+		L1ILatCycles:  1,
+		L1DLatCycles:  2,
+		L2LatCycles:   12,
+		DRAM:          "DDR4-2400",
+		DRAMSizeGB:    16,
+		MemChannels:   2,
+		NetworkGbps:   40,
+		SwitchLatNs:   100,
+		NetDIMMs:      1,
+		PCIe:          "x8 PCIe Gen4",
+		NetDIMMSizeGB: 16,
+	}
+}
+
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Validate checks the specification for internal consistency and returns
+// an actionable error for the first violation found.
+func (s Spec) Validate() error {
+	switch {
+	case s.Cores < 1:
+		return fmt.Errorf("spec: Cores must be at least 1, got %d", s.Cores)
+	case s.CoreGHz <= 0:
+		return fmt.Errorf("spec: CoreGHz must be positive, got %g", s.CoreGHz)
+	case s.SuperscalarW < 1:
+		return fmt.Errorf("spec: SuperscalarW must be at least 1, got %d", s.SuperscalarW)
+	case s.ROBEntries < 1 || s.IQEntries < 1 || s.LQEntries < 1 || s.SQEntries < 1:
+		return fmt.Errorf("spec: ROB/IQ/LQ/SQ entries must all be at least 1, got %d/%d/%d/%d",
+			s.ROBEntries, s.IQEntries, s.LQEntries, s.SQEntries)
+	case !powerOfTwo(s.L1ISizeKB) || !powerOfTwo(s.L1DSizeKB):
+		return fmt.Errorf("spec: L1 cache sizes must be powers of two (KB), got L1I=%dKB L1D=%dKB",
+			s.L1ISizeKB, s.L1DSizeKB)
+	case !powerOfTwo(s.L2SizeMB):
+		return fmt.Errorf("spec: L2 size must be a power of two (MB), got %dMB", s.L2SizeMB)
+	case s.L1ILatCycles < 1 || s.L1DLatCycles < 1 || s.L2LatCycles < 1:
+		return fmt.Errorf("spec: cache latencies must be at least 1 cycle, got L1I=%d L1D=%d L2=%d",
+			s.L1ILatCycles, s.L1DLatCycles, s.L2LatCycles)
+	case !powerOfTwo(s.DRAMSizeGB):
+		return fmt.Errorf("spec: DRAMSizeGB must be a power of two for channel interleaving, got %d", s.DRAMSizeGB)
+	case s.MemChannels < 1:
+		return fmt.Errorf("spec: MemChannels must be at least 1, got %d", s.MemChannels)
+	case s.NetworkGbps < 1:
+		return fmt.Errorf("spec: NetworkGbps must be at least 1, got %d", s.NetworkGbps)
+	case s.SwitchLatNs < 0:
+		return fmt.Errorf("spec: SwitchLatNs must not be negative, got %d", s.SwitchLatNs)
+	case s.NetDIMMs < 1:
+		return fmt.Errorf("spec: NetDIMMs must be at least 1, got %d", s.NetDIMMs)
+	case s.NetDIMMs > 2*s.MemChannels:
+		return fmt.Errorf("spec: %d NetDIMMs exceed the address map: %d channels offer %d DIMM slots (two per channel)",
+			s.NetDIMMs, s.MemChannels, 2*s.MemChannels)
+	case s.NetDIMMSizeGB < 8 || s.NetDIMMSizeGB%8 != 0:
+		return fmt.Errorf("spec: NetDIMMSizeGB must be a positive multiple of the 8GB rank size, got %d", s.NetDIMMSizeGB)
+	}
+	if _, err := dram.ParseTiming(s.DRAM); err != nil {
+		return fmt.Errorf("spec: DRAM: %w", err)
+	}
+	if _, err := pcie.ParseLink(s.PCIe); err != nil {
+		return fmt.Errorf("spec: PCIe: %w", err)
+	}
+	return nil
+}
+
+// Derived is a Spec resolved into every per-package parameter set. It is
+// read-only after Derive and safe to share across parallel experiment
+// cells; the machine constructors below build fresh mutable state per call.
+type Derived struct {
+	Spec Spec
+
+	// Costs is the driver software cost set. A Table 1 core uses the
+	// hand-calibrated driver.DefaultCosts; any other core derives its
+	// costs from the first-order cpu model.
+	Costs driver.Costs
+	// Core is the NetDIMM device configuration with the base seed;
+	// endpoint constructors override Seed per machine.
+	Core core.Config
+	// MC is the host/NetDIMM memory-controller configuration.
+	MC memctrl.Config
+	// HostTiming is the timing of the host DDR channels (and of the
+	// NetDIMM's local modules, which share the channel's technology).
+	HostTiming dram.Timing
+	// PCIe is the dNIC attachment link.
+	PCIe pcie.Link
+	// Link is the Ethernet link model of every fabric built from this
+	// specification.
+	Link ethernet.Link
+	// SwitchLatency is the default switch port-to-port latency.
+	SwitchLatency sim.Time
+	// Map is the flex-mode physical address map: the DDR region
+	// interleaved over MemChannels, then one NET_i region per NetDIMM.
+	Map *addrmap.SystemMap
+}
+
+// Derive validates the specification and resolves it into the parameter
+// sets of every substrate package.
+func (s Spec) Derive() (*Derived, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	timing, err := dram.ParseTiming(s.DRAM)
+	if err != nil {
+		return nil, err
+	}
+	link, err := pcie.ParseLink(s.PCIe)
+	if err != nil {
+		return nil, err
+	}
+
+	ndBytes := int64(s.NetDIMMSizeGB) << 30
+	ndSpecs := make([]addrmap.NetDIMMSpec, s.NetDIMMs)
+	for i := range ndSpecs {
+		ndSpecs[i] = addrmap.NetDIMMSpec{Channel: i % s.MemChannels, Size: ndBytes}
+	}
+	m, err := addrmap.NewSystemMap(s.MemChannels, int64(s.DRAMSizeGB)<<30, addrmap.PageSize, ndSpecs...)
+	if err != nil {
+		return nil, fmt.Errorf("spec: address map: %w", err)
+	}
+
+	coreCfg := core.DefaultConfig()
+	coreCfg.Ranks = int(ndBytes / addrmap.RankBytes)
+	coreCfg.LocalTiming = timing
+
+	return &Derived{
+		Spec:          s,
+		Costs:         s.costs(),
+		Core:          coreCfg,
+		MC:            memctrl.DefaultConfig(),
+		HostTiming:    timing,
+		PCIe:          link,
+		Link:          ethernet.LinkGbps(float64(s.NetworkGbps)),
+		SwitchLatency: sim.Time(s.SwitchLatNs) * sim.Nanosecond,
+		Map:           m,
+	}, nil
+}
+
+// MustDerive is Derive for specifications already validated at an entry
+// point (the experiment runners); it panics on an invalid Spec.
+func (s Spec) MustDerive() *Derived {
+	d, err := s.Derive()
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// costs selects the software cost set: the calibrated constants anchor the
+// Table 1 core exactly (so default-spec figures are bit-identical to the
+// calibrated baseline); a deviating core falls back to the cpu model.
+func (s Spec) costs() driver.Costs {
+	p := cpu.TableOne()
+	p.FreqGHz = s.CoreGHz
+	p.IssueWidth = s.SuperscalarW
+	p.ROBEntries = s.ROBEntries
+	p.L1DLat = s.L1DLatCycles
+	p.L2Lat = s.L2LatCycles
+	if p == cpu.TableOne() {
+		return driver.DefaultCosts()
+	}
+	return driver.CostsFromParams(p)
+}
+
+// ZoneBase returns the physical base address of NetDIMM i's NET_i zone.
+func (d *Derived) ZoneBase(i int) int64 {
+	r, err := d.Map.NetDIMMRegion(i)
+	if err != nil {
+		panic(err) // unreachable: Derive sized the map to Spec.NetDIMMs
+	}
+	return r.Base
+}
+
+// ZoneBases returns every NET_i zone base in NetDIMM order.
+func (d *Derived) ZoneBases() []int64 {
+	bases := make([]int64, d.Spec.NetDIMMs)
+	for i := range bases {
+		bases[i] = d.ZoneBase(i)
+	}
+	return bases
+}
+
+// Fabric builds a clos fabric over the derived link with the given switch
+// latency (use d.SwitchLatency for the specification's own value).
+func (d *Derived) Fabric(switchLatency sim.Time) ethernet.Fabric {
+	return ethernet.NewFabricWith(d.Link, switchLatency)
+}
+
+// NewDNIC builds a discrete-NIC endpoint on the derived PCIe link.
+func (d *Derived) NewDNIC(zeroCopy bool) *driver.HWDriver {
+	return driver.NewMachine(nic.NewDNICWith(d.PCIe), d.Costs, zeroCopy)
+}
+
+// NewINIC builds an integrated-NIC endpoint.
+func (d *Derived) NewINIC(zeroCopy bool) *driver.HWDriver {
+	return driver.NewMachine(nic.NewINIC(), d.Costs, zeroCopy)
+}
+
+// NewNetDIMM builds a NetDIMM endpoint on NET_0 with the given device seed.
+func (d *Derived) NewNetDIMM(seed uint64) (*driver.NetDIMMDriver, error) {
+	cfg := d.Core
+	cfg.Seed = seed
+	return driver.NewNetDIMMMachineWith(cfg, d.ZoneBase(0), d.Costs)
+}
+
+// NewSystem builds a server carrying all Spec.NetDIMMs NetDIMMs with their
+// NET_i zones placed by the derived address map.
+func (d *Derived) NewSystem(seed uint64) (*driver.System, error) {
+	return driver.NewSystemWith(d.Core, d.ZoneBases(), d.Costs, seed)
+}

@@ -22,23 +22,58 @@ type Machine struct {
 // "iNIC.zcpy", "NetDIMM").
 func (m *Machine) Name() string { return m.impl.Name() }
 
-// NewDNIC builds a server with a discrete x8 PCIe Gen4 NIC, optionally
-// with a zero-copy driver.
+// NewDNIC builds a Table 1 server with a discrete x8 PCIe Gen4 NIC,
+// optionally with a zero-copy driver.
 func NewDNIC(zeroCopy bool) *Machine {
 	return &Machine{impl: driver.NewDNICMachine(zeroCopy)}
 }
 
-// NewINIC builds a server with a CPU-integrated NIC, optionally with a
-// zero-copy driver.
+// NewDNICWithConfig builds a discrete-NIC server from a configuration: the
+// PCIe attachment link and driver costs derive from cfg.
+func NewDNICWithConfig(cfg Config, zeroCopy bool) (*Machine, error) {
+	d, err := cfg.derive()
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{impl: d.NewDNIC(zeroCopy)}, nil
+}
+
+// NewINIC builds a Table 1 server with a CPU-integrated NIC, optionally
+// with a zero-copy driver.
 func NewINIC(zeroCopy bool) *Machine {
 	return &Machine{impl: driver.NewINICMachine(zeroCopy)}
 }
 
-// NewNetDIMM builds a server with a 16GB NetDIMM: device, NET_0 memory
-// zone, allocCache and the Algorithm 1 driver. The seed determines nCache
-// replacement randomness; distinct endpoints should use distinct seeds.
+// NewINICWithConfig builds an integrated-NIC server from a configuration.
+func NewINICWithConfig(cfg Config, zeroCopy bool) (*Machine, error) {
+	d, err := cfg.derive()
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{impl: d.NewINIC(zeroCopy)}, nil
+}
+
+// NewNetDIMM builds a Table 1 server with a 16GB NetDIMM: device, NET_0
+// memory zone, allocCache and the Algorithm 1 driver. The seed determines
+// nCache replacement randomness; distinct endpoints should use distinct
+// seeds.
 func NewNetDIMM(seed uint64) (*Machine, error) {
 	nd, err := driver.NewNetDIMMMachine(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{impl: nd}, nil
+}
+
+// NewNetDIMMWithConfig builds a NetDIMM server from a configuration: the
+// device geometry, local DRAM timing and NET_0 zone placement derive from
+// cfg.
+func NewNetDIMMWithConfig(cfg Config, seed uint64) (*Machine, error) {
+	d, err := cfg.derive()
+	if err != nil {
+		return nil, err
+	}
+	nd, err := d.NewNetDIMM(seed)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +142,26 @@ func OneWayLatency(tx, rx *Machine, packetSize int, switchLatency time.Duration)
 	if tx == nil || rx == nil {
 		return LatencyBreakdown{}, fmt.Errorf("netdimm: nil machine")
 	}
-	fabric := ethernet.NewFabric(sim.Time(switchLatency.Nanoseconds()) * sim.Nanosecond)
+	fabric := ethernet.NewFabric(sim.FromDuration(switchLatency))
+	b := driver.OneWay(tx.impl, rx.impl, nic.Packet{Size: packetSize}, fabric)
+	return fromBreakdown(b), nil
+}
+
+// OneWayLatencyWithConfig is OneWayLatency over a fabric derived from the
+// configuration (its link rate and PHY model come from cfg rather than the
+// Table 1 defaults).
+func OneWayLatencyWithConfig(cfg Config, tx, rx *Machine, packetSize int, switchLatency time.Duration) (LatencyBreakdown, error) {
+	if packetSize <= 0 {
+		return LatencyBreakdown{}, fmt.Errorf("netdimm: packet size must be positive, got %d", packetSize)
+	}
+	if tx == nil || rx == nil {
+		return LatencyBreakdown{}, fmt.Errorf("netdimm: nil machine")
+	}
+	d, err := cfg.derive()
+	if err != nil {
+		return LatencyBreakdown{}, err
+	}
+	fabric := d.Fabric(sim.FromDuration(switchLatency))
 	b := driver.OneWay(tx.impl, rx.impl, nic.Packet{Size: packetSize}, fabric)
 	return fromBreakdown(b), nil
 }

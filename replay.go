@@ -20,7 +20,16 @@ type ReplayResult struct {
 // clos fabric under all three architectures. parallelism follows the
 // convention of RunFig4 (each architecture is one cell).
 func ReplayTraceFile(r io.Reader, switchLatency time.Duration, seed uint64, parallelism int) (cluster string, results []ReplayResult, err error) {
-	h, rows, err := experiments.ReplayTraceFile(r, simT(switchLatency), seed, parallelism)
+	return ReplayTraceFileWithConfig(DefaultConfig(), r, switchLatency, seed, parallelism)
+}
+
+// ReplayTraceFileWithConfig is ReplayTraceFile on the system described by
+// cfg.
+func ReplayTraceFileWithConfig(cfg Config, r io.Reader, switchLatency time.Duration, seed uint64, parallelism int) (cluster string, results []ReplayResult, err error) {
+	if err := cfg.Validate(); err != nil {
+		return "", nil, err
+	}
+	h, rows, err := experiments.ReplayTraceFile(cfg.spec(), r, simT(switchLatency), seed, parallelism)
 	if err != nil {
 		return "", nil, err
 	}
@@ -51,7 +60,16 @@ type MixedChannelResult struct {
 // accesses coexist with deterministic DDR accesses on one channel (paper
 // Sec. 2.2/4.1).
 func RunMixedChannel(n int, seed uint64) (MixedChannelResult, error) {
-	r, err := experiments.MixedChannel(n, seed)
+	return RunMixedChannelWithConfig(DefaultConfig(), n, seed)
+}
+
+// RunMixedChannelWithConfig is RunMixedChannel on the system described by
+// cfg.
+func RunMixedChannelWithConfig(cfg Config, n int, seed uint64) (MixedChannelResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return MixedChannelResult{}, err
+	}
+	r, err := experiments.MixedChannel(cfg.spec(), n, seed)
 	if err != nil {
 		return MixedChannelResult{}, err
 	}

@@ -1,0 +1,155 @@
+package netdimm
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadScenarioPresets(t *testing.T) {
+	for _, name := range Scenarios() {
+		cfg, err := LoadScenario(name)
+		if err != nil {
+			t.Fatalf("LoadScenario(%q): %v", name, err)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %q does not validate: %v", name, err)
+		}
+	}
+	// The empty name and "table1" are both the paper's Table 1 system.
+	def, err := LoadScenario("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def != DefaultConfig() {
+		t.Error(`LoadScenario("") != DefaultConfig()`)
+	}
+}
+
+func TestLoadScenarioUnknownNameError(t *testing.T) {
+	_, err := LoadScenario("ddr6")
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, frag := range append(Scenarios(), "ddr6", ".json") {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q does not mention %q", err, frag)
+		}
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	want := DefaultConfig()
+	want.DRAM = "DDR5-4800"
+	want.NetworkGbps = 100
+	want.SwitchLatNs = 250
+	blob, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScenario(strings.NewReader(string(blob)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestScenarioPartialJSONFillsDefaults(t *testing.T) {
+	// A scenario file only states what differs from Table 1.
+	got, err := ReadScenario(strings.NewReader(`{"DRAM": "DDR5-4800"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultConfig()
+	want.DRAM = "DDR5-4800"
+	if got != want {
+		t.Errorf("partial scenario = %+v, want defaults + DDR5", got)
+	}
+}
+
+func TestScenarioRejectsUnknownField(t *testing.T) {
+	_, err := ReadScenario(strings.NewReader(`{"DARM": "DDR5-4800"}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestScenarioRejectsInvalidConfig(t *testing.T) {
+	_, err := ReadScenario(strings.NewReader(`{"Cores": 0}`))
+	if err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if !strings.Contains(err.Error(), "Cores") {
+		t.Errorf("error %q does not name the offending field", err)
+	}
+}
+
+func TestLoadScenarioFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gen3.json")
+	if err := os.WriteFile(path, []byte(`{"PCIe": "x8 PCIe Gen3"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PCIe != "x8 PCIe Gen3" {
+		t.Errorf("PCIe = %q", cfg.PCIe)
+	}
+	if cfg.Cores != DefaultConfig().Cores {
+		t.Errorf("unset fields not defaulted: Cores = %d", cfg.Cores)
+	}
+}
+
+func TestValidateActionableErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DRAM = "DDR3-1600"
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("DDR3 accepted")
+	}
+	// The message should tell the user what IS supported.
+	if !strings.Contains(err.Error(), "DDR4-2400") || !strings.Contains(err.Error(), "DDR5") {
+		t.Errorf("error %q does not list supported technologies", err)
+	}
+
+	cfg = DefaultConfig()
+	cfg.NetDIMMs = 9
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("9 NetDIMMs on 4 channels accepted")
+	}
+}
+
+// The headline claim must survive the technology scenarios: NetDIMM below
+// iNIC below dNIC at every packet size, not just under Table 1 DDR4/Gen4.
+func TestScenarioFig11Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"ddr5", "pcie-gen3"} {
+		t.Run(name, func(t *testing.T) {
+			cfg, err := LoadScenario(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := RunFig11WithConfig(cfg, []int{64, 1500}, 100*time.Nanosecond, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, r := range rows {
+				if !(r.NetDIMM.Total < r.INIC.Total && r.INIC.Total < r.DNIC.Total) {
+					t.Errorf("size %d: want NetDIMM < iNIC < dNIC, got %v %v %v",
+						r.Size, r.NetDIMM.Total, r.INIC.Total, r.DNIC.Total)
+				}
+			}
+		})
+	}
+}
