@@ -27,7 +27,8 @@ func RunBandwidth(packets int, parallelism int) ([]BandwidthResult, error) {
 
 // RunBandwidthWithConfig is RunBandwidth on the system described by cfg
 // (its link rate and local-channel bandwidth).
-func RunBandwidthWithConfig(cfg Config, packets int, parallelism int) ([]BandwidthResult, error) {
+func RunBandwidthWithConfig(cfg Config, packets int, parallelism int) (_ []BandwidthResult, err error) {
+	defer guard(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,7 +94,8 @@ func RunAblations(parallelism int) (AblationReport, error) {
 }
 
 // RunAblationsWithConfig is RunAblations on the system described by cfg.
-func RunAblationsWithConfig(cfg Config, parallelism int) (AblationReport, error) {
+func RunAblationsWithConfig(cfg Config, parallelism int) (_ AblationReport, err error) {
+	defer guard(&err)
 	var rep AblationReport
 	if err := cfg.Validate(); err != nil {
 		return rep, err

@@ -5,9 +5,10 @@
 //
 //	netdimm-sim [flags] <experiment>
 //
-// Experiments: table1, fig4, fig5, fig7, fig11, fig12a, fig12b, headline,
-// all. The -scenario flag selects the simulated system: a named preset
-// (table1, ddr5, pcie-gen3, multi-netdimm-4) or a JSON config file.
+// Experiments: table1, fig4, fig5, fig7, fig11, fig12a, fig12b, faultsweep,
+// headline, all. The -scenario flag selects the simulated system: a named
+// preset (table1, ddr5, pcie-gen3, multi-netdimm-4, lossy-1pct) or a JSON
+// config file.
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"netdimm"
@@ -27,6 +30,7 @@ var (
 	asCSV     = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (fig4, fig5, fig7, fig11, fig12a, fig12b)")
 	parallel  = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = all cores, 1 = sequential, N = at most N")
 	scenario  = flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
+	lossRates = flag.String("loss", "", "comma-separated frame-loss rates for faultsweep (default 0,0.001,0.01,0.05,0.1,0.2)")
 )
 
 // command is one experiment the CLI can run. Every runner receives the
@@ -52,6 +56,7 @@ var commands = []command{
 	{"ablation", "design-choice ablations (nPrefetcher, nCache, FPM, allocCache)", true, runAblation},
 	{"mixed", "DDR + NetDIMM coexistence on one channel (NVDIMM-P async, Sec. 2.2)", false, runMixed},
 	{"replay", "F  replay a netdimm-trace file under all three architectures", false, runReplayArg},
+	{"faultsweep", "one-way latency vs injected frame loss, with retransmit recovery", false, runFaultSweep},
 	{"headline", "the abstract's summary numbers", true, runHeadline},
 	{"bench", "machine-readable benchmark report (JSON; see -benchn)", false, func(netdimm.Config) error { return runBench() }},
 }
@@ -363,6 +368,54 @@ func runReplayArg(cfg netdimm.Config) error {
 	fmt.Printf("%-8s  %8s  %10s  %10s  %10s\n", "arch", "packets", "mean", "p50", "p99")
 	for _, r := range rows {
 		fmt.Printf("%-8s  %8d  %10v  %10v  %10v\n", r.Arch, r.Packets, r.Mean, r.P50, r.P99)
+	}
+	return nil
+}
+
+// parseLossRates parses the -loss flag; an empty flag selects the
+// experiment's default sweep.
+func parseLossRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("faultsweep: bad loss rate %q: %v", part, err)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+func runFaultSweep(cfg netdimm.Config) error {
+	rates, err := parseLossRates(*lossRates)
+	if err != nil {
+		return err
+	}
+	rows, err := netdimm.RunFaultSweepWithConfig(cfg, rates, *packets, *seed, *parallel)
+	if err != nil {
+		return err
+	}
+	if *asCSV {
+		csvOut("arch", "loss_rate", "mean_ns", "p50_ns", "p99_ns",
+			"delivered", "failed", "retransmits", "frames_dropped", "frames_corrupted", "mem_retries")
+		for _, r := range rows {
+			csvOut(r.Arch, fmt.Sprintf("%g", r.LossRate),
+				fmt.Sprint(r.Mean.Nanoseconds()), fmt.Sprint(r.P50.Nanoseconds()), fmt.Sprint(r.P99.Nanoseconds()),
+				fmt.Sprint(r.Delivered), fmt.Sprint(r.Failed),
+				fmt.Sprint(r.Counters.Retransmits), fmt.Sprint(r.Counters.FramesDropped),
+				fmt.Sprint(r.Counters.FramesCorrupted), fmt.Sprint(r.Counters.MemRetries))
+		}
+		return nil
+	}
+	fmt.Println("Fault sweep — one-way latency vs injected frame loss (with recovery)")
+	fmt.Printf("%-8s  %8s  %10s  %10s  %10s  %9s  %6s  %7s\n",
+		"arch", "loss", "mean", "p50", "p99", "delivered", "failed", "retrans")
+	for _, r := range rows {
+		fmt.Printf("%-8s  %8g  %10v  %10v  %10v  %9d  %6d  %7d\n",
+			r.Arch, r.LossRate, r.Mean, r.P50, r.P99, r.Delivered, r.Failed, r.Counters.Retransmits)
 	}
 	return nil
 }

@@ -4,8 +4,16 @@ import (
 	"fmt"
 	"strings"
 
+	"netdimm/internal/fault"
 	"netdimm/internal/spec"
 )
+
+// FaultConfig configures deterministic fault injection (packet loss,
+// corruption, switch-port tail drops, NVDIMM-P RDY timeouts) and the
+// retry/backoff policies that recover from it. It aliases the internal
+// fault.Spec so Config converts to the derivation form directly; the zero
+// value disables all injection and changes no experiment output.
+type FaultConfig = fault.Spec
 
 // Config is the simulated system configuration — the paper's Table 1. It is
 // the single authoritative system specification: every machine constructor
@@ -34,6 +42,9 @@ type Config struct {
 	NetDIMMs      int
 	PCIe          string
 	NetDIMMSizeGB int
+	// Fault injects deterministic network and memory-protocol faults; see
+	// FaultConfig. Leave zero for the paper's fault-free experiments.
+	Fault FaultConfig
 }
 
 // DefaultConfig returns Table 1 of the paper.
@@ -93,5 +104,8 @@ func (c Config) Table() string {
 	row("Network/Switch latency/#NetDIMM", fmt.Sprintf("%dGbE/%dns/%d", c.NetworkGbps, c.SwitchLatNs, c.NetDIMMs))
 	row("PCIe performance", c.PCIe)
 	row("NetDIMM capacity", fmt.Sprintf("%dGB (two 8GB ranks)", c.NetDIMMSizeGB))
+	if c.Fault.Enabled() {
+		row("Fault injection", c.Fault.String())
+	}
 	return sb.String()
 }

@@ -1,6 +1,7 @@
 package netdimm
 
 import (
+	"fmt"
 	"time"
 
 	"netdimm/internal/experiments"
@@ -60,6 +61,24 @@ func mustValid(err error) {
 	}
 }
 
+// guard converts a panic escaping an experiment into an error, so the
+// public WithConfig entry points never panic on caller input: a
+// configuration that passes Validate but trips a deeper invariant (an
+// address-map or derivation panic) surfaces as a returned error instead of
+// crashing the caller. Every Run*WithConfig defers it over a named error
+// return.
+func guard(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if e, ok := r.(error); ok {
+		*err = fmt.Errorf("netdimm: experiment failed: %w", e)
+		return
+	}
+	*err = fmt.Errorf("netdimm: experiment failed: %v", r)
+}
+
 // Fig4Result is one row of the Fig. 4 motivation experiment.
 type Fig4Result struct {
 	Size          int
@@ -85,7 +104,8 @@ func RunFig4(sizes []int, switchLatency time.Duration, parallelism int) []Fig4Re
 }
 
 // RunFig4WithConfig is RunFig4 on the system described by cfg.
-func RunFig4WithConfig(cfg Config, sizes []int, switchLatency time.Duration, parallelism int) ([]Fig4Result, error) {
+func RunFig4WithConfig(cfg Config, sizes []int, switchLatency time.Duration, parallelism int) (_ []Fig4Result, err error) {
+	defer guard(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,7 +146,8 @@ func RunFig5(delays []time.Duration, parallelism int) []Fig5Result {
 
 // RunFig5WithConfig is RunFig5 on the system described by cfg (its DRAM
 // timing, memory-controller config and link rate).
-func RunFig5WithConfig(cfg Config, delays []time.Duration, parallelism int) ([]Fig5Result, error) {
+func RunFig5WithConfig(cfg Config, delays []time.Duration, parallelism int) (_ []Fig5Result, err error) {
+	defer guard(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -171,7 +192,8 @@ func RunFig7() []Fig7Result {
 
 // RunFig7WithConfig is RunFig7 on the system described by cfg (its link
 // rate and PCIe DMA bandwidth).
-func RunFig7WithConfig(cfg Config) ([]Fig7Result, error) {
+func RunFig7WithConfig(cfg Config) (_ []Fig7Result, err error) {
+	defer guard(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -200,7 +222,8 @@ func RunFig11(sizes []int, switchLatency time.Duration, parallelism int) ([]Fig1
 }
 
 // RunFig11WithConfig is RunFig11 on the system described by cfg.
-func RunFig11WithConfig(cfg Config, sizes []int, switchLatency time.Duration, parallelism int) ([]Fig11Result, error) {
+func RunFig11WithConfig(cfg Config, sizes []int, switchLatency time.Duration, parallelism int) (_ []Fig11Result, err error) {
+	defer guard(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -243,7 +266,8 @@ func RunFig12a(packets int, seed uint64, parallelism int) ([]Fig12aResult, error
 }
 
 // RunFig12aWithConfig is RunFig12a on the system described by cfg.
-func RunFig12aWithConfig(cfg Config, packets int, seed uint64, parallelism int) ([]Fig12aResult, error) {
+func RunFig12aWithConfig(cfg Config, packets int, seed uint64, parallelism int) (_ []Fig12aResult, err error) {
+	defer guard(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -287,7 +311,8 @@ func RunFig12b(parallelism int) []Fig12bResult {
 }
 
 // RunFig12bWithConfig is RunFig12b on the system described by cfg.
-func RunFig12bWithConfig(cfg Config, parallelism int) ([]Fig12bResult, error) {
+func RunFig12bWithConfig(cfg Config, parallelism int) (_ []Fig12bResult, err error) {
+	defer guard(&err)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -321,7 +346,8 @@ func RunHeadline(packets int, parallelism int) (HeadlineResult, error) {
 }
 
 // RunHeadlineWithConfig is RunHeadline on the system described by cfg.
-func RunHeadlineWithConfig(cfg Config, packets int, parallelism int) (HeadlineResult, error) {
+func RunHeadlineWithConfig(cfg Config, packets int, parallelism int) (_ HeadlineResult, err error) {
+	defer guard(&err)
 	if err := cfg.Validate(); err != nil {
 		return HeadlineResult{}, err
 	}

@@ -3,6 +3,7 @@ package ethernet
 import (
 	"fmt"
 
+	"netdimm/internal/fault"
 	"netdimm/internal/sim"
 )
 
@@ -46,6 +47,7 @@ type Port struct {
 	queue []queuedFrame
 	busy  bool
 	stats PortStats
+	inj   *fault.Injector
 }
 
 type queuedFrame struct {
@@ -65,6 +67,11 @@ func NewPort(eng *sim.Engine, link Link, capacity int) *Port {
 // Stats returns a copy of the port statistics.
 func (p *Port) Stats() PortStats { return p.stats }
 
+// InjectFaults attaches a fault injector: each enqueue additionally draws
+// the injected tail-drop decision (modelling congestion or a flaky port
+// ASIC) on top of the real buffer-occupancy drop.
+func (p *Port) InjectFaults(inj *fault.Injector) { p.inj = inj }
+
 // Depth returns the current queue occupancy (including the frame on the
 // wire).
 func (p *Port) Depth() int {
@@ -80,6 +87,10 @@ func (p *Port) Depth() int {
 // and returns false.
 func (p *Port) Send(f Frame, deliver func(Frame)) bool {
 	if p.Depth() >= p.capacity {
+		p.stats.Dropped++
+		return false
+	}
+	if p.inj != nil && p.inj.PortDrop() {
 		p.stats.Dropped++
 		return false
 	}
@@ -137,6 +148,13 @@ func NewSwitchNode(eng *sim.Engine, link Link, latency sim.Time, n, portCapacity
 
 // Port returns egress port i.
 func (s *SwitchNode) Port(i int) *Port { return s.ports[i] }
+
+// InjectFaults attaches a fault injector to every egress port.
+func (s *SwitchNode) InjectFaults(inj *fault.Injector) {
+	for _, p := range s.ports {
+		p.InjectFaults(inj)
+	}
+}
 
 // Forward switches a frame to egress port dst; deliver fires at the far
 // end of that port's link. It reports false if the egress buffer dropped

@@ -54,6 +54,16 @@ func TestParallelMatchesSequential(t *testing.T) {
 			gen := workload.NewGenerator(workload.Hadoop, 0, 5)
 			return ReplayTrace(spec.TableOne(), gen.Generate(150), 100*sim.Nanosecond, 9, p)
 		}},
+		{"FaultSweep", func(p int) (any, error) {
+			sp := spec.TableOne()
+			sp.Fault.CorruptProb = 0.002
+			sp.Fault.MaxRetries = 8
+			sp.Fault.MemTimeoutProb = 0.05
+			sp.Fault.MemMaxRetries = 4
+			cfg := DefaultFaultSweepConfig()
+			cfg.Packets = 80
+			return FaultSweep(sp, []float64{0, 0.02, 0.1}, cfg, p)
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

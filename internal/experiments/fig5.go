@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"netdimm/internal/addrmap"
+	"netdimm/internal/fault"
 	"netdimm/internal/memctrl"
 	"netdimm/internal/nic"
 	"netdimm/internal/sim"
@@ -224,10 +225,19 @@ func (r *fig5Rig) mcOf(addr int64) *memctrl.Controller {
 	return r.mcs[int(addr/addrmap.CachelineSize)%len(r.mcs)]
 }
 
-// submitRetry retries a rejected request after a backoff — the hardware
-// equivalent of waiting for a credit.
+// fig5Backoff paces re-submission of rejected memory requests — the
+// hardware equivalent of waiting for a credit. The exponential cap keeps a
+// saturated controller from being hammered every 50ns while still probing
+// often enough that a freed credit is claimed quickly.
+var fig5Backoff = fault.Backoff{Base: 50 * sim.Nanosecond, Cap: 200 * sim.Nanosecond}
+
+// submitRetry retries a rejected request with capped exponential backoff.
 func (r *fig5Rig) submitRetry(mc *memctrl.Controller, req *memctrl.Request) {
+	r.submitAttempt(mc, req, 0)
+}
+
+func (r *fig5Rig) submitAttempt(mc *memctrl.Controller, req *memctrl.Request, attempt int) {
 	if err := mc.Submit(req); err != nil {
-		r.eng.Schedule(50*sim.Nanosecond, func() { r.submitRetry(mc, req) })
+		r.eng.Schedule(fig5Backoff.Delay(attempt), func() { r.submitAttempt(mc, req, attempt+1) })
 	}
 }

@@ -1,0 +1,104 @@
+package memctrl
+
+import (
+	"fmt"
+
+	"netdimm/internal/fault"
+	"netdimm/internal/nvdimmp"
+	"netdimm/internal/sim"
+)
+
+// AsyncReader is the host memory controller's recovery path for NVDIMM-P
+// asynchronous reads (paper Sec. 2.2): every read issues an XRD through the
+// request-ID Tracker and arms a RDY deadline. If the device's RDY signal is
+// lost — injected via fault.Injector.LoseRDY, modelling a glitched RSP pin
+// or a wedged device — the deadline fires, the transaction aborts, and the
+// controller re-issues it with capped exponential backoff until the retry
+// policy's cap. Without an injector (or with RDY loss at probability zero)
+// reads behave exactly like the tracker's normal Issue/Ready/Complete
+// sequence.
+type AsyncReader struct {
+	eng     *sim.Engine
+	tracker *nvdimmp.Tracker
+	// read starts one device media access for addr; done fires at the
+	// instant the device stages the data and raises RDY.
+	read   func(addr int64, done func())
+	inj    *fault.Injector
+	policy fault.RetryPolicy
+}
+
+// NewAsyncReader builds a reader over the tracker and device read
+// function. The tracker must have a timeout armed (SetTimeout) for RDY-loss
+// recovery to engage; policy paces the re-issues.
+func NewAsyncReader(eng *sim.Engine, tracker *nvdimmp.Tracker, read func(addr int64, done func()), inj *fault.Injector, policy fault.RetryPolicy) *AsyncReader {
+	if eng == nil || tracker == nil || read == nil {
+		panic("memctrl: AsyncReader needs an engine, tracker and read function")
+	}
+	return &AsyncReader{eng: eng, tracker: tracker, read: read, inj: inj, policy: policy}
+}
+
+// Read performs one recoverable asynchronous read. done fires exactly once:
+// with the end-to-end latency (including any timeout and backoff spans) on
+// success, or with an error when the ID space or the retry cap is
+// exhausted.
+func (a *AsyncReader) Read(addr int64, done func(lat sim.Time, err error)) {
+	a.attempt(addr, 0, a.eng.Now(), done)
+}
+
+func (a *AsyncReader) attempt(addr int64, n int, start sim.Time, done func(sim.Time, error)) {
+	tx, err := a.tracker.Issue(a.eng.Now(), addr)
+	if err != nil {
+		// ID space exhausted: back off like any other transient failure.
+		a.recover(addr, n, start, done, err)
+		return
+	}
+	id := tx.ID
+	lost := a.inj != nil && a.inj.LoseRDY()
+
+	// current guards against the stale device callback of an aborted
+	// attempt completing a later re-issue of the same request ID.
+	current := true
+	var timeoutEv sim.EventID
+	if d := a.tracker.Timeout(); d > 0 {
+		timeoutEv = a.eng.Schedule(d, func() {
+			if !current {
+				return
+			}
+			current = false
+			a.tracker.Abort(id)
+			a.recover(addr, n, start, done,
+				fmt.Errorf("memctrl: RDY timeout after %v for addr %#x", d, addr))
+		})
+	}
+	a.read(addr, func() {
+		if !current || lost {
+			// Aborted, or the RDY pulse never reached the host: the data
+			// sits staged in the device until the timeout reclaims the ID.
+			return
+		}
+		current = false
+		if timeoutEv != 0 {
+			a.eng.Cancel(timeoutEv)
+		}
+		a.tracker.Ready(id, a.eng.Now())
+		a.tracker.Complete(id)
+		done(a.eng.Now()-start, nil)
+	})
+}
+
+// recover schedules the next attempt per the retry policy, or gives up.
+func (a *AsyncReader) recover(addr int64, n int, start sim.Time, done func(sim.Time, error), cause error) {
+	delay, ok := a.policy.NextDelay(n)
+	if !ok {
+		if a.inj != nil {
+			a.inj.Counters.MemFailures++
+		}
+		done(0, fmt.Errorf("memctrl: read %#x failed after %d attempts (%v): %w",
+			addr, n+1, cause, fault.ErrExhausted))
+		return
+	}
+	if a.inj != nil {
+		a.inj.Counters.MemRetries++
+	}
+	a.eng.Schedule(delay, func() { a.attempt(addr, n+1, start, done) })
+}

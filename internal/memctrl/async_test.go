@@ -1,0 +1,153 @@
+package memctrl
+
+import (
+	"errors"
+	"testing"
+
+	"netdimm/internal/fault"
+	"netdimm/internal/nvdimmp"
+	"netdimm/internal/sim"
+)
+
+// fakeDevice models the NVDIMM-P device side: a read stages data after a
+// fixed media time and then "raises RDY" by invoking the callback.
+type fakeDevice struct {
+	eng   *sim.Engine
+	media sim.Time
+	reads int
+}
+
+func (d *fakeDevice) read(addr int64, done func()) {
+	d.reads++
+	d.eng.Schedule(d.media, func() { done() })
+}
+
+func newAsyncRig(t *testing.T, spec fault.Spec) (*sim.Engine, *AsyncReader, *fault.Injector, *fakeDevice, *nvdimmp.Tracker) {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := &fakeDevice{eng: eng, media: 100 * sim.Nanosecond}
+	tracker := nvdimmp.NewTracker(nvdimmp.DefaultTiming(), 8)
+	tracker.SetTimeout(spec.MemDeadline())
+	inj := fault.NewInjector(spec, 17)
+	r := NewAsyncReader(eng, tracker, dev.read, inj, spec.MemPolicy())
+	return eng, r, inj, dev, tracker
+}
+
+func TestAsyncReaderFaultFree(t *testing.T) {
+	eng, r, inj, dev, tracker := newAsyncRig(t, fault.Spec{})
+	var lat sim.Time
+	var rerr error
+	calls := 0
+	r.Read(0x1000, func(l sim.Time, err error) { lat, rerr, calls = l, err, calls+1 })
+	eng.Run()
+	if calls != 1 || rerr != nil {
+		t.Fatalf("done fired %d times, err %v", calls, rerr)
+	}
+	if lat != dev.media {
+		t.Errorf("latency = %v, want the media time %v", lat, dev.media)
+	}
+	if dev.reads != 1 {
+		t.Errorf("device reads = %d, want 1", dev.reads)
+	}
+	if inj.Counters.Any() {
+		t.Errorf("fault-free read counted faults: %+v", inj.Counters)
+	}
+	if issued, completed, _ := tracker.Stats(); issued != 1 || completed != 1 {
+		t.Errorf("tracker issued/completed = %d/%d, want 1/1", issued, completed)
+	}
+	if tracker.Outstanding() != 0 {
+		t.Errorf("transaction left outstanding")
+	}
+}
+
+// A lost RDY must time out, abort the transaction, and recover by
+// re-issuing; total latency includes the timeout and backoff spans.
+func TestAsyncReaderRecoversLostRDY(t *testing.T) {
+	spec := fault.Spec{MemTimeoutProb: 1, MemTimeoutNs: 500, MemMaxRetries: 2, RetryBaseNs: 100}
+	eng, r, inj, dev, tracker := newAsyncRig(t, spec)
+	// First attempt loses RDY (prob 1)... and so does every retry; with a
+	// retry budget of 2 the read must fail after 3 attempts.
+	var rerr error
+	calls := 0
+	r.Read(0x40, func(l sim.Time, err error) { rerr, calls = err, calls+1 })
+	eng.Run()
+	if calls != 1 {
+		t.Fatalf("done fired %d times, want exactly once", calls)
+	}
+	if !errors.Is(rerr, fault.ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", rerr)
+	}
+	if dev.reads != 3 {
+		t.Errorf("device reads = %d, want 3 (initial + 2 retries)", dev.reads)
+	}
+	if inj.Counters.MemTimeouts != 3 || inj.Counters.MemRetries != 2 || inj.Counters.MemFailures != 1 {
+		t.Errorf("counters = %+v, want 3 timeouts, 2 retries, 1 failure", inj.Counters)
+	}
+	if tracker.Aborted() != 3 {
+		t.Errorf("aborted = %d, want 3", tracker.Aborted())
+	}
+	if tracker.Outstanding() != 0 {
+		t.Errorf("aborted transactions left outstanding")
+	}
+}
+
+// With RDY loss at 50%, a generous retry budget must eventually deliver
+// every read, and the recovered reads must cost more than the media time.
+func TestAsyncReaderEventualDelivery(t *testing.T) {
+	spec := fault.Spec{MemTimeoutProb: 0.5, MemTimeoutNs: 500, MemMaxRetries: 32, RetryBaseNs: 100}
+	eng, r, inj, _, _ := newAsyncRig(t, spec)
+	const n = 200
+	ok, failed := 0, 0
+	var recovered bool
+	for i := 0; i < n; i++ {
+		start := eng.Now()
+		r.Read(int64(i)*64, func(l sim.Time, err error) {
+			if err != nil {
+				failed++
+				return
+			}
+			ok++
+			if l > 100*sim.Nanosecond {
+				recovered = true
+			}
+			_ = start
+		})
+		eng.Run()
+	}
+	if failed != 0 || ok != n {
+		t.Fatalf("delivered %d, failed %d, want all %d delivered", ok, failed, n)
+	}
+	if !recovered {
+		t.Error("no read paid a visible recovery latency at 50% RDY loss")
+	}
+	if inj.Counters.MemTimeouts == 0 || inj.Counters.MemRetries == 0 {
+		t.Errorf("counters = %+v, want nonzero timeouts and retries", inj.Counters)
+	}
+}
+
+// Unlimited retries (MemMaxRetries 0) must keep recovering rather than
+// exhaust — bounded here by engine time, not the policy.
+func TestAsyncReaderUnlimitedRetries(t *testing.T) {
+	spec := fault.Spec{MemTimeoutProb: 0.9, MemTimeoutNs: 200, RetryBaseNs: 50}
+	eng, r, _, _, _ := newAsyncRig(t, spec)
+	done := false
+	r.Read(0, func(l sim.Time, err error) {
+		if err != nil {
+			t.Errorf("unlimited policy reported %v", err)
+		}
+		done = true
+	})
+	eng.Run()
+	if !done {
+		t.Fatal("read never completed")
+	}
+}
+
+func TestAsyncReaderNilGuards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAsyncReader accepted a nil tracker")
+		}
+	}()
+	NewAsyncReader(sim.NewEngine(), nil, func(int64, func()) {}, nil, fault.RetryPolicy{})
+}

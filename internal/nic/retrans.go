@@ -1,0 +1,60 @@
+package nic
+
+import (
+	"fmt"
+
+	"netdimm/internal/fault"
+	"netdimm/internal/sim"
+	"netdimm/internal/stats"
+)
+
+// Retransmitter is the NIC-side ARQ engine of the fault plane: it detects
+// lost frames (no acknowledgement before the retransmit timer) and
+// corrupted frames (the receiver's FCS check discards them, which the
+// sender again learns of by timeout), then retransmits with capped
+// exponential backoff up to the policy's retry cap. All three NIC
+// architectures share it — link-level recovery sits below the dNIC / iNIC /
+// NetDIMM distinction.
+type Retransmitter struct {
+	Eng    *sim.Engine
+	Policy fault.RetryPolicy
+	// Counters, if non-nil, receives the retransmit/failure tallies
+	// (usually the owning injector's counter block).
+	Counters *stats.FaultCounters
+}
+
+// Send delivers one frame through try, retrying on faults. try draws
+// attempt number n (0-based) and returns its outcome plus the wire time the
+// attempt consumed. done fires exactly once: at the delivery instant on
+// success, or — when the retry cap is exhausted — at the instant the sender
+// gives up, with an error wrapping fault.ErrExhausted. attempts counts
+// transmissions including the final one.
+func (rt *Retransmitter) Send(try func(attempt int) (fault.Outcome, sim.Time), done func(attempts int, err error)) {
+	rt.attempt(0, try, done)
+}
+
+func (rt *Retransmitter) attempt(n int, try func(int) (fault.Outcome, sim.Time), done func(int, error)) {
+	outcome, wire := try(n)
+	if outcome == fault.Delivered {
+		rt.Eng.Schedule(wire, func() { done(n+1, nil) })
+		return
+	}
+	// The frame was lost or discarded. A corrupted frame consumed its full
+	// wire time before the receiver dropped it; either way the sender only
+	// learns of the loss when its retransmit timer (the backoff delay)
+	// expires.
+	delay, ok := rt.Policy.NextDelay(n)
+	if !ok {
+		if rt.Counters != nil {
+			rt.Counters.DeliveryFailures++
+		}
+		rt.Eng.Schedule(wire+rt.Policy.Backoff.Delay(n), func() {
+			done(n+1, fmt.Errorf("nic: frame %s after %d attempts: %w", outcome, n+1, fault.ErrExhausted))
+		})
+		return
+	}
+	if rt.Counters != nil {
+		rt.Counters.Retransmits++
+	}
+	rt.Eng.Schedule(wire+delay, func() { rt.attempt(n+1, try, done) })
+}

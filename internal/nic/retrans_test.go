@@ -1,0 +1,101 @@
+package nic
+
+import (
+	"errors"
+	"testing"
+
+	"netdimm/internal/fault"
+	"netdimm/internal/sim"
+	"netdimm/internal/stats"
+)
+
+func retransRig() (*sim.Engine, *Retransmitter, *stats.FaultCounters) {
+	eng := sim.NewEngine()
+	var c stats.FaultCounters
+	rt := &Retransmitter{
+		Eng:      eng,
+		Policy:   fault.RetryPolicy{Backoff: fault.Backoff{Base: 100 * sim.Nanosecond, Cap: 400 * sim.Nanosecond}, MaxRetries: 3},
+		Counters: &c,
+	}
+	return eng, rt, &c
+}
+
+func TestRetransmitterFirstAttemptDelivers(t *testing.T) {
+	eng, rt, c := retransRig()
+	const wire = 250 * sim.Nanosecond
+	var at sim.Time
+	attempts := 0
+	rt.Send(
+		func(int) (fault.Outcome, sim.Time) { return fault.Delivered, wire },
+		func(n int, err error) {
+			if err != nil {
+				t.Errorf("err = %v", err)
+			}
+			attempts, at = n, eng.Now()
+		})
+	eng.Run()
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+	if at != wire {
+		t.Errorf("delivered at %v, want the wire time %v", at, wire)
+	}
+	if c.Retransmits != 0 || c.DeliveryFailures != 0 {
+		t.Errorf("counters = %+v for a clean delivery", *c)
+	}
+}
+
+// Losses before a success: the delivery instant accumulates each failed
+// attempt's wire time plus its backoff delay.
+func TestRetransmitterRecovers(t *testing.T) {
+	eng, rt, c := retransRig()
+	const wire = 50 * sim.Nanosecond
+	outcomes := []fault.Outcome{fault.Dropped, fault.Corrupted, fault.Delivered}
+	var at sim.Time
+	attempts := 0
+	rt.Send(
+		func(n int) (fault.Outcome, sim.Time) {
+			if outcomes[n] == fault.Dropped {
+				return fault.Dropped, 0 // a vanished frame costs no wire time
+			}
+			return outcomes[n], wire
+		},
+		func(n int, err error) {
+			if err != nil {
+				t.Errorf("err = %v", err)
+			}
+			attempts, at = n, eng.Now()
+		})
+	eng.Run()
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+	// drop: 0 wire + 100ns backoff; corrupt: 50ns wire + 200ns backoff;
+	// delivery: 50ns wire.
+	want := 100*sim.Nanosecond + wire + 200*sim.Nanosecond + wire
+	if at != want {
+		t.Errorf("delivered at %v, want %v", at, want)
+	}
+	if c.Retransmits != 2 {
+		t.Errorf("Retransmits = %d, want 2", c.Retransmits)
+	}
+}
+
+func TestRetransmitterExhausts(t *testing.T) {
+	eng, rt, c := retransRig()
+	var rerr error
+	attempts := 0
+	rt.Send(
+		func(int) (fault.Outcome, sim.Time) { return fault.Dropped, 0 },
+		func(n int, err error) { attempts, rerr = n, err })
+	eng.Run()
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4 (initial + MaxRetries=3)", attempts)
+	}
+	if !errors.Is(rerr, fault.ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", rerr)
+	}
+	if c.Retransmits != 3 || c.DeliveryFailures != 1 {
+		t.Errorf("counters = %+v, want 3 retransmits, 1 failure", *c)
+	}
+}

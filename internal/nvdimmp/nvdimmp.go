@@ -63,7 +63,10 @@ type Transaction struct {
 	Addr    int64
 	Issued  sim.Time
 	ReadyAt sim.Time // when RDY was raised; valid only once ready
-	ready   bool
+	// Deadline is the instant the host MC gives up waiting for RDY
+	// (Issued + the tracker's timeout); MaxTime when no timeout is set.
+	Deadline sim.Time
+	ready    bool
 }
 
 // Tracker manages request IDs and out-of-order completion for one channel,
@@ -73,9 +76,13 @@ type Tracker struct {
 	pending map[RequestID]*Transaction
 	nextID  RequestID
 	maxIDs  int
+	// timeout is how long the MC waits for RDY before a transaction is
+	// eligible for Abort; 0 means transactions never expire.
+	timeout sim.Time
 
 	issued    uint64
 	completed uint64
+	aborted   uint64
 	ooo       uint64 // completions that overtook an older transaction
 }
 
@@ -95,6 +102,13 @@ func NewTracker(t Timing, maxOutstanding int) *Tracker {
 // Timing returns the tracker's protocol constants.
 func (tr *Tracker) Timing() Timing { return tr.timing }
 
+// SetTimeout arms a RDY deadline: transactions issued afterwards expire
+// `d` after issue (see Expired / Abort). A zero d disarms the deadline.
+func (tr *Tracker) SetTimeout(d sim.Time) { tr.timeout = d }
+
+// Timeout returns the armed RDY deadline (0 when disarmed).
+func (tr *Tracker) Timeout() sim.Time { return tr.timeout }
+
 // Outstanding reports the number of in-flight transactions.
 func (tr *Tracker) Outstanding() int { return len(tr.pending) }
 
@@ -110,12 +124,38 @@ func (tr *Tracker) Issue(now sim.Time, addr int64) (*Transaction, error) {
 		}
 		tr.nextID++
 	}
-	tx := &Transaction{ID: tr.nextID, Addr: addr, Issued: now}
+	tx := &Transaction{ID: tr.nextID, Addr: addr, Issued: now, Deadline: sim.MaxTime}
+	if tr.timeout > 0 {
+		tx.Deadline = now + tr.timeout
+	}
 	tr.nextID++
 	tr.pending[tx.ID] = tx
 	tr.issued++
 	return tx, nil
 }
+
+// Expired reports whether the transaction is still pending, has not raised
+// RDY, and has passed its deadline at time now.
+func (tr *Tracker) Expired(id RequestID, now sim.Time) bool {
+	tx, ok := tr.pending[id]
+	return ok && !tx.ready && now >= tx.Deadline
+}
+
+// Abort retires a transaction whose RDY never arrived (or arrived too late
+// for the MC to act on), freeing its request ID for re-issue. It is the
+// timeout path's counterpart to Complete.
+func (tr *Tracker) Abort(id RequestID) (*Transaction, error) {
+	tx, ok := tr.pending[id]
+	if !ok {
+		return nil, fmt.Errorf("nvdimmp: aborting unknown request %d", id)
+	}
+	delete(tr.pending, id)
+	tr.aborted++
+	return tx, nil
+}
+
+// Aborted reports how many transactions were retired via Abort.
+func (tr *Tracker) Aborted() uint64 { return tr.aborted }
 
 // Ready records the device raising RDY for the transaction at time now.
 func (tr *Tracker) Ready(id RequestID, now sim.Time) error {

@@ -1,0 +1,98 @@
+package nvdimmp
+
+import (
+	"testing"
+
+	"netdimm/internal/sim"
+)
+
+func TestTrackerTimeoutStampsDeadline(t *testing.T) {
+	tr := NewTracker(DefaultTiming(), 4)
+	tx, err := tr.Issue(100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Deadline != sim.MaxTime {
+		t.Errorf("no-timeout deadline = %v, want MaxTime", tx.Deadline)
+	}
+	tr.Ready(tx.ID, 150)
+	tr.Complete(tx.ID)
+
+	tr.SetTimeout(500)
+	if tr.Timeout() != 500 {
+		t.Fatalf("Timeout() = %v", tr.Timeout())
+	}
+	tx2, err := tr.Issue(1000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx2.Deadline != 1500 {
+		t.Errorf("deadline = %v, want issue+timeout = 1500", tx2.Deadline)
+	}
+}
+
+func TestTrackerExpired(t *testing.T) {
+	tr := NewTracker(DefaultTiming(), 4)
+	tr.SetTimeout(500)
+	tx, _ := tr.Issue(0, 0)
+	if tr.Expired(tx.ID, 499) {
+		t.Error("expired before the deadline")
+	}
+	if !tr.Expired(tx.ID, 500) {
+		t.Error("not expired at the deadline")
+	}
+	// RDY arriving clears eligibility even past the deadline.
+	tr.Ready(tx.ID, 400)
+	if tr.Expired(tx.ID, 600) {
+		t.Error("a ready transaction must not be expired")
+	}
+	tr.Complete(tx.ID)
+	if tr.Expired(tx.ID, 600) {
+		t.Error("a completed transaction must not be expired")
+	}
+}
+
+func TestTrackerAbortFreesID(t *testing.T) {
+	tr := NewTracker(DefaultTiming(), 1)
+	tr.SetTimeout(500)
+	tx, err := tr.Issue(0, 0x40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Issue(10, 0x80); err == nil {
+		t.Fatal("ID space of 1 allowed a second issue")
+	}
+	got, err := tr.Abort(tx.ID)
+	if err != nil || got.Addr != 0x40 {
+		t.Fatalf("Abort = %+v, %v", got, err)
+	}
+	if tr.Aborted() != 1 {
+		t.Errorf("Aborted() = %d, want 1", tr.Aborted())
+	}
+	if tr.Outstanding() != 0 {
+		t.Errorf("Outstanding() = %d after abort", tr.Outstanding())
+	}
+	// The freed ID is reusable.
+	if _, err := tr.Issue(20, 0xc0); err != nil {
+		t.Fatalf("re-issue after abort: %v", err)
+	}
+	// Aborting twice (or an unknown ID) errors.
+	if _, err := tr.Abort(99); err == nil {
+		t.Error("Abort(unknown) = nil error")
+	}
+}
+
+func TestAbortedNotCountedCompleted(t *testing.T) {
+	tr := NewTracker(DefaultTiming(), 4)
+	tr.SetTimeout(100)
+	tx, _ := tr.Issue(0, 0)
+	tr.Abort(tx.ID)
+	issued, completed, _ := tr.Stats()
+	if issued != 1 || completed != 0 {
+		t.Errorf("issued/completed = %d/%d, want 1/0", issued, completed)
+	}
+	// Completing an aborted transaction must fail — its ID is retired.
+	if _, err := tr.Complete(tx.ID); err == nil {
+		t.Error("Complete(aborted) = nil error")
+	}
+}

@@ -120,6 +120,16 @@ type Engine struct {
 	live    int // scheduled and not cancelled
 	fired   uint64
 	stopped bool
+
+	// Watchdog state (see watchdog.go). wdOn keeps the hot path to a
+	// single branch when no watchdog is armed.
+	wd          Watchdog
+	wdOn        bool
+	wdErr       *WatchdogError
+	wdBaseFired uint64
+	wdSameTime  uint64
+	wdLastNow   Time
+	wdStart     time.Time
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -225,19 +235,31 @@ func (e *Engine) step() bool {
 	return false
 }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until the queue drains, Stop is called, or an armed
+// watchdog trips (see SetWatchdog; the diagnostic is then available from
+// Err).
 func (e *Engine) Run() {
 	e.stopped = false
-	for !e.stopped && e.step() {
+	for !e.stopped {
+		if e.wdOn && !e.wdCheck() {
+			return
+		}
+		if !e.step() {
+			return
+		}
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline, advancing the clock
 // to exactly deadline when it returns (even if the queue drained earlier or
-// the next event lies beyond the deadline).
+// the next event lies beyond the deadline). An armed watchdog aborts the
+// run early, leaving the clock where the abort happened.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for !e.stopped {
+		if e.wdOn && !e.wdCheck() {
+			return
+		}
 		when, ok := e.peekWhen()
 		if !ok || when > deadline {
 			break

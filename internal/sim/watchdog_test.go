@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWatchdogDisabledByDefault(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10000 {
+			e.Schedule(Nanosecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if n != 10000 {
+		t.Fatalf("ran %d events, want 10000", n)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("Err() = %v without a watchdog", err)
+	}
+}
+
+func TestWatchdogEventBudget(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{MaxEvents: 500})
+	// An unbounded self-rescheduling loop: the model livelock the watchdog
+	// exists for.
+	var spin func()
+	spin = func() { e.Schedule(Nanosecond, spin) }
+	e.Schedule(0, spin)
+	e.Run()
+
+	err := e.Err()
+	if err == nil {
+		t.Fatal("Err() = nil, want event-budget diagnostic")
+	}
+	var wde *WatchdogError
+	if !errors.As(err, &wde) {
+		t.Fatalf("Err() = %T, want *WatchdogError", err)
+	}
+	if wde.Fired != 500 {
+		t.Errorf("Fired = %d, want 500", wde.Fired)
+	}
+	if !strings.Contains(err.Error(), "event budget of 500 exhausted") {
+		t.Errorf("diagnostic %q missing the budget reason", err)
+	}
+	if !strings.Contains(err.Error(), "pending") {
+		t.Errorf("diagnostic %q missing the pending count", err)
+	}
+}
+
+func TestWatchdogNoProgress(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{MaxNoProgress: 100})
+	var spin func()
+	spin = func() { e.Schedule(0, spin) } // zero-delay: the clock never moves
+	e.Schedule(0, spin)
+	e.Run()
+	err := e.Err()
+	if err == nil || !strings.Contains(err.Error(), "no progress") {
+		t.Fatalf("Err() = %v, want no-progress diagnostic", err)
+	}
+}
+
+func TestWatchdogNoProgressAllowsAdvancingClock(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{MaxNoProgress: 3})
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 50 {
+			e.Schedule(Nanosecond, tick) // always advances: never trips
+		}
+	}
+	e.Schedule(Nanosecond, tick)
+	e.Run()
+	if err := e.Err(); err != nil {
+		t.Fatalf("advancing clock tripped the no-progress check: %v", err)
+	}
+	if n != 50 {
+		t.Fatalf("ran %d events, want 50", n)
+	}
+}
+
+func TestWatchdogWallClock(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{MaxWall: time.Microsecond})
+	var spin func()
+	spin = func() { e.Schedule(Nanosecond, spin) }
+	e.Schedule(0, spin)
+	deadline := time.Now().Add(30 * time.Second)
+	for e.Err() == nil && time.Now().Before(deadline) {
+		e.RunUntil(e.Now() + Millisecond)
+	}
+	err := e.Err()
+	if err == nil || !strings.Contains(err.Error(), "wall-clock budget") {
+		t.Fatalf("Err() = %v, want wall-clock diagnostic", err)
+	}
+}
+
+func TestSetWatchdogRearms(t *testing.T) {
+	e := NewEngine()
+	e.SetWatchdog(Watchdog{MaxEvents: 10})
+	var spin func()
+	spin = func() { e.Schedule(Nanosecond, spin) }
+	e.Schedule(0, spin)
+	e.Run()
+	if e.Err() == nil {
+		t.Fatal("first budget did not trip")
+	}
+	// Re-arming clears the error and restarts the budget from the current
+	// fired count; the backlog event left by the abort keeps spinning.
+	e.SetWatchdog(Watchdog{MaxEvents: 1000})
+	if e.Err() != nil {
+		t.Fatal("SetWatchdog did not clear the error")
+	}
+	e.RunUntil(e.Now() + 500*Nanosecond)
+	if e.Err() != nil {
+		t.Fatalf("budget tripped early: %v", e.Err())
+	}
+	// Disarming entirely lets the run proceed under RunUntil alone.
+	e.SetWatchdog(Watchdog{})
+	e.RunUntil(e.Now() + 100*Nanosecond)
+	if e.Err() != nil {
+		t.Fatalf("disarmed watchdog reported %v", e.Err())
+	}
+}

@@ -19,11 +19,17 @@ import (
 	"netdimm/internal/dram"
 	"netdimm/internal/driver"
 	"netdimm/internal/ethernet"
+	"netdimm/internal/fault"
 	"netdimm/internal/memctrl"
 	"netdimm/internal/nic"
 	"netdimm/internal/pcie"
 	"netdimm/internal/sim"
 )
+
+// FaultSpec is the fault-injection block of a specification. It aliases
+// fault.Spec so the root Config, this package and the fault plane share one
+// underlying type and Spec↔Config struct conversion stays direct.
+type FaultSpec = fault.Spec
 
 // Spec is the full simulated-system specification. Its fields mirror the
 // root netdimm.Config exactly (same names, types and order), so the two
@@ -50,6 +56,10 @@ type Spec struct {
 	NetDIMMs      int
 	PCIe          string
 	NetDIMMSizeGB int
+	// Fault configures deterministic fault injection; the zero value
+	// disables every fault and leaves all experiments bit-identical to a
+	// fault-free run.
+	Fault FaultSpec
 }
 
 // TableOne returns the paper's Table 1 specification.
@@ -123,6 +133,9 @@ func (s Spec) Validate() error {
 	}
 	if _, err := pcie.ParseLink(s.PCIe); err != nil {
 		return fmt.Errorf("spec: PCIe: %w", err)
+	}
+	if err := s.Fault.Validate(); err != nil {
+		return fmt.Errorf("spec: %w", err)
 	}
 	return nil
 }

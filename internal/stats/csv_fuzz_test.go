@@ -1,0 +1,37 @@
+package stats
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// FuzzCSV checks the escaping against the standard library's reader: any
+// two-field record we emit must parse back to the original values. Two
+// fields per record keep an all-empty record from reading as a skipped
+// blank line, and encoding/csv normalises \r\n inside quoted fields to \n,
+// so the expectation does the same.
+func FuzzCSV(f *testing.F) {
+	f.Add("plain", "value")
+	f.Add("comma,inside", `quote"inside`)
+	f.Add("new\nline", "carriage\rreturn")
+	f.Add("crlf\r\npair", "")
+	f.Add(`""`, "trailing\r")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		out := CSV([]string{"c1", "c2"}, [][]string{{a, b}})
+		r := csv.NewReader(strings.NewReader(out))
+		r.FieldsPerRecord = 2
+		records, err := r.ReadAll()
+		if err != nil {
+			t.Fatalf("emitted CSV unparsable: %v\ninput: %q %q\noutput: %q", err, a, b, out)
+		}
+		if len(records) != 2 {
+			t.Fatalf("got %d records, want header + 1 row\noutput: %q", len(records), out)
+		}
+		norm := func(s string) string { return strings.ReplaceAll(s, "\r\n", "\n") }
+		if records[1][0] != norm(a) || records[1][1] != norm(b) {
+			t.Fatalf("roundtrip mismatch: wrote (%q, %q), read (%q, %q)",
+				a, b, records[1][0], records[1][1])
+		}
+	})
+}

@@ -65,7 +65,8 @@ func RunMixedChannel(n int, seed uint64) (MixedChannelResult, error) {
 
 // RunMixedChannelWithConfig is RunMixedChannel on the system described by
 // cfg.
-func RunMixedChannelWithConfig(cfg Config, n int, seed uint64) (MixedChannelResult, error) {
+func RunMixedChannelWithConfig(cfg Config, n int, seed uint64) (_ MixedChannelResult, err error) {
+	defer guard(&err)
 	if err := cfg.Validate(); err != nil {
 		return MixedChannelResult{}, err
 	}

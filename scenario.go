@@ -23,11 +23,20 @@ func scenarioPresets() map[string]Config {
 	multi.NetDIMMs = 4
 	multi.MemChannels = 4
 
+	lossy := DefaultConfig()
+	lossy.Fault = FaultConfig{
+		DropProb:    0.01,
+		CorruptProb: 0.001,
+		MaxRetries:  8,
+		Seed:        1,
+	}
+
 	return map[string]Config{
 		"table1":          DefaultConfig(),
 		"ddr5":            ddr5,
 		"pcie-gen3":       gen3,
 		"multi-netdimm-4": multi,
+		"lossy-1pct":      lossy,
 	}
 }
 

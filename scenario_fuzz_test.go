@@ -1,0 +1,31 @@
+package netdimm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadScenario hardens the scenario-JSON entry point: arbitrary input
+// must either fail with an error or produce a configuration that passes
+// Validate — never a panic, and never an invalid Config leaking through.
+func FuzzReadScenario(f *testing.F) {
+	f.Add(`{}`)
+	f.Add(`{"Cores": 4}`)
+	f.Add(`{"DRAM": "DDR5-4800", "NetworkGbps": 100}`)
+	f.Add(`{"Fault": {"DropProb": 0.01, "MaxRetries": 8}}`)
+	f.Add(`{"Fault": {"DropProb": 2}}`)
+	f.Add(`{"Cores": -1}`)
+	f.Add(`{"Unknown": true}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"Cores": 1e309}`)
+	f.Add("{\"PCIe\": \"x16 PCIe Gen5\", \"Fault\": {\"MemTimeoutProb\": 0.5, \"MemTimeoutNs\": 100}}")
+	f.Fuzz(func(t *testing.T, data string) {
+		cfg, err := ReadScenario(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ReadScenario accepted %q but the config fails Validate: %v", data, verr)
+		}
+	})
+}
