@@ -31,7 +31,62 @@ var (
 	parallel  = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = all cores, 1 = sequential, N = at most N")
 	scenario  = flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
 	lossRates = flag.String("loss", "", "comma-separated frame-loss rates for faultsweep (default 0,0.001,0.01,0.05,0.1,0.2)")
+	traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (fig11, faultsweep, mixed); open in ui.perfetto.dev")
+	metrics   = flag.Bool("metrics", false, "collect and print the metrics registry after the experiment output (fig11, faultsweep, mixed)")
 )
+
+// obsConfig arms cfg.Obs from the -trace / -metrics flags; with neither
+// flag set the configuration is returned unchanged and runs stay
+// uninstrumented (byte-identical to the pinned goldens).
+func obsConfig(cfg netdimm.Config) netdimm.Config {
+	cfg.Obs.Trace = cfg.Obs.Trace || *traceOut != ""
+	cfg.Obs.Metrics = cfg.Obs.Metrics || *metrics
+	return cfg
+}
+
+// emitObservation writes the -trace file and prints the metrics registry
+// (as CSV under -csv) for an observed run; a nil observation only writes
+// the empty-but-valid trace file when one was requested.
+func emitObservation(ob *netdimm.Observation) error {
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := ob.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "netdimm-sim: wrote trace to %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metrics && ob.HasMetrics() {
+		fmt.Println()
+		if *asCSV {
+			fmt.Print(ob.MetricsCSV())
+		} else {
+			fmt.Println("Metrics registry")
+			fmt.Print(ob.MetricsTable())
+		}
+	}
+	return nil
+}
+
+// printFaultTails prints the per-architecture cross-rate latency tails of
+// a fault sweep. It is part of the -metrics rendering so the default
+// faultsweep output stays byte-identical.
+func printFaultTails(tails []netdimm.FaultTailResult) {
+	if !*metrics || len(tails) == 0 {
+		return
+	}
+	fmt.Println("\nLatency tails across all loss rates")
+	fmt.Printf("%-8s  %8s  %10s  %10s  %10s\n", "arch", "samples", "mean", "p50", "p99")
+	for _, t := range tails {
+		fmt.Printf("%-8s  %8d  %10v  %10v  %10v\n", t.Arch, t.Count, t.Mean, t.P50, t.P99)
+	}
+}
 
 // command is one experiment the CLI can run. Every runner receives the
 // scenario configuration; `all` replays the inAll commands in order.
@@ -55,7 +110,7 @@ var commands = []command{
 	{"bandwidth", "sustained line-rate check (Sec. 5.2)", true, runBandwidth},
 	{"ablation", "design-choice ablations (nPrefetcher, nCache, FPM, allocCache)", true, runAblation},
 	{"mixed", "DDR + NetDIMM coexistence on one channel (NVDIMM-P async, Sec. 2.2)", false, runMixed},
-	{"replay", "F  replay a netdimm-trace file under all three architectures", false, runReplayArg},
+	{"replay", "replay a netdimm-trace file under all three architectures", false, runReplayArg},
 	{"faultsweep", "one-way latency vs injected frame loss, with retransmit recovery", false, runFaultSweep},
 	{"headline", "the abstract's summary numbers", true, runHeadline},
 	{"bench", "machine-readable benchmark report (JSON; see -benchn)", false, func(netdimm.Config) error { return runBench() }},
@@ -207,10 +262,11 @@ func runFig7(cfg netdimm.Config) error {
 }
 
 func runFig11(cfg netdimm.Config) error {
-	rows, err := netdimm.RunFig11WithConfig(cfg, nil, *switchLat, *parallel)
+	rows, ob, err := netdimm.RunFig11Observed(obsConfig(cfg), nil, *switchLat, *parallel)
 	if err != nil {
 		return err
 	}
+	defer emitObservation(ob)
 	if *asCSV {
 		csvOut("size", "arch", "txCopy_ns", "rxCopy_ns", "txDMA_ns", "rxDMA_ns",
 			"wire_ns", "ioReg_ns", "txFlush_ns", "rxInvalidate_ns", "total_ns")
@@ -337,10 +393,11 @@ func runAblation(cfg netdimm.Config) error {
 }
 
 func runMixed(cfg netdimm.Config) error {
-	r, err := netdimm.RunMixedChannelWithConfig(cfg, *packets, *seed)
+	r, ob, err := netdimm.RunMixedChannelObserved(obsConfig(cfg), *packets, *seed)
 	if err != nil {
 		return err
 	}
+	defer emitObservation(ob)
 	fmt.Println("Mixed channel — DDR + NetDIMM on one DDR5 channel (Sec. 2.2)")
 	fmt.Printf("  DDR reads:      %5d  mean %v\n", r.DDRReads, r.DDRMean)
 	fmt.Printf("  NetDIMM reads:  %5d  mean %v (asynchronous, non-deterministic)\n",
@@ -394,10 +451,12 @@ func runFaultSweep(cfg netdimm.Config) error {
 	if err != nil {
 		return err
 	}
-	rows, err := netdimm.RunFaultSweepWithConfig(cfg, rates, *packets, *seed, *parallel)
+	rows, tails, ob, err := netdimm.RunFaultSweepObserved(obsConfig(cfg), rates, *packets, *seed, *parallel)
 	if err != nil {
 		return err
 	}
+	defer emitObservation(ob)
+	defer printFaultTails(tails)
 	if *asCSV {
 		csvOut("arch", "loss_rate", "mean_ns", "p50_ns", "p99_ns",
 			"delivered", "failed", "retransmits", "frames_dropped", "frames_corrupted", "mem_retries")

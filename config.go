@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"netdimm/internal/fault"
+	"netdimm/internal/obs"
 	"netdimm/internal/spec"
 )
 
@@ -14,6 +15,13 @@ import (
 // fault.Spec so Config converts to the derivation form directly; the zero
 // value disables all injection and changes no experiment output.
 type FaultConfig = fault.Spec
+
+// ObsConfig selects observability collection: Trace records per-packet
+// lifecycle spans for Chrome trace-event export, Metrics collects named
+// counters and time series. It aliases the internal obs.Spec so Config
+// converts to the derivation form directly; the zero value disables all
+// instrumentation and changes no experiment output.
+type ObsConfig = obs.Spec
 
 // Config is the simulated system configuration — the paper's Table 1. It is
 // the single authoritative system specification: every machine constructor
@@ -45,6 +53,9 @@ type Config struct {
 	// Fault injects deterministic network and memory-protocol faults; see
 	// FaultConfig. Leave zero for the paper's fault-free experiments.
 	Fault FaultConfig
+	// Obs enables observability collection; see ObsConfig. Leave zero for
+	// uninstrumented runs (the default for every pinned golden output).
+	Obs ObsConfig
 }
 
 // DefaultConfig returns Table 1 of the paper.

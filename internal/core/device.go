@@ -9,6 +9,7 @@ import (
 	"netdimm/internal/memctrl"
 	"netdimm/internal/nic"
 	"netdimm/internal/nvdimmp"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 )
 
@@ -98,6 +99,22 @@ func NewDevice(eng *sim.Engine, cfg Config) *Device {
 		stats:  Stats{Clones: make(map[dram.CloneMode]uint64)},
 	}
 	return d
+}
+
+// Observe wires the device's observability hooks into cell c: the nMC gets
+// a transaction-span track (prefix+"/nmc") and a read-queue-depth series
+// (prefix+".nmc.readq"), and every local rank samples busy-bank occupancy
+// (prefix+".rank<i>.busyBanks"). A nil cell — or a cell with tracing and
+// metrics both off — leaves all hooks nil, preserving the uninstrumented
+// fast path.
+func (d *Device) Observe(c *obs.Cell, prefix string) {
+	if c == nil {
+		return
+	}
+	d.nmc.Observe(c.Track(prefix+"/nmc"), c.Metrics().Series(prefix+".nmc.readq"))
+	for i, r := range d.ranks.Ranks {
+		r.Observe(c.Metrics().Series(fmt.Sprintf("%s.rank%d.busyBanks", prefix, i)))
+	}
 }
 
 // Size returns the local DRAM capacity in bytes.

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"netdimm/internal/addrmap"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 )
 
@@ -161,6 +162,8 @@ type Rank struct {
 	banks  [addrmap.BanksPerRank]bank
 	bus    *Bus
 	stats  Stats
+	// occ, when attached via Observe, samples bank occupancy per access.
+	occ *obs.Series
 }
 
 // NewRank returns a rank with all banks precharged and a private bus (use
@@ -176,6 +179,11 @@ func NewRank(t Timing) *Rank {
 
 // ShareBus places the rank on the given channel bus.
 func (r *Rank) ShareBus(b *Bus) { r.bus = b }
+
+// Observe attaches a bank-occupancy series: every access samples how many
+// of the rank's banks are still busy (preparing or bursting) at the
+// access's arrival instant. A nil series detaches the sampler.
+func (r *Rank) Observe(s *obs.Series) { r.occ = s }
 
 // Stats returns a copy of the accumulated statistics.
 func (r *Rank) Stats() Stats { return r.stats }
@@ -197,6 +205,15 @@ func (r *Rank) WouldHit(local int64) bool {
 // rank-local address, starting no earlier than now. It returns the instant
 // the data transfer completes and the access classification.
 func (r *Rank) Access(now sim.Time, local int64, write bool, bytes int64) (done sim.Time, kind AccessKind) {
+	if r.occ != nil {
+		var busy int64
+		for i := range r.banks {
+			if r.banks[i].readyAt > now {
+				busy++
+			}
+		}
+		r.occ.Sample(now, busy)
+	}
 	l := addrmap.DecodeRank(local)
 	b := &r.banks[l.Bank]
 	t := r.timing

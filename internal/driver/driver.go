@@ -11,6 +11,7 @@ package driver
 
 import (
 	"netdimm/internal/nic"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 	"netdimm/internal/stats"
 )
@@ -100,6 +101,18 @@ type HWDriver struct {
 	Dev      nic.Device
 	Costs    Costs
 	ZeroCopy bool
+	// Rec, if non-nil, records every driver phase as a lifecycle span on
+	// the per-component tracks of an observability cell (see obs.Recorder).
+	// Nil — the default — keeps TX/RX purely analytic.
+	Rec *obs.Recorder
+}
+
+// add accumulates one named phase into breakdown component c and, when a
+// recorder is attached, lays the phase down as a span on the component's
+// track. Track sums therefore equal breakdown components by construction.
+func (d *HWDriver) add(b stats.Breakdown, c stats.Component, phase string, t sim.Time) {
+	b.Add(c, t)
+	d.Rec.Advance(string(c), phase, t)
 }
 
 // Name implements Machine.
@@ -117,17 +130,17 @@ func (d *HWDriver) TX(p nic.Packet) stats.Breakdown {
 	// T1: the transmit function checks NIC state. A polled bare-metal
 	// driver tracks the ring tail locally, so this is a cheap host-memory
 	// check; the expensive device-register traffic is the doorbell below.
-	b.Add(stats.IOReg, d.Costs.PollCheck)
+	d.add(b, stats.IOReg, "pollCheck", d.Costs.PollCheck)
 	// T2: build the SKB, stage the data, write the descriptor, ring the
 	// doorbell.
 	if d.ZeroCopy {
-		b.Add(stats.TxCopy, d.Costs.SKBAlloc+d.Costs.ZcpyPin+d.Costs.DescWrite)
+		d.add(b, stats.TxCopy, "skb+pin+desc", d.Costs.SKBAlloc+d.Costs.ZcpyPin+d.Costs.DescWrite)
 	} else {
-		b.Add(stats.TxCopy, d.Costs.SKBAlloc+d.Costs.CopyTime(p.Size)+d.Costs.DescWrite)
+		d.add(b, stats.TxCopy, "skb+copy+desc", d.Costs.SKBAlloc+d.Costs.CopyTime(p.Size)+d.Costs.DescWrite)
 	}
-	b.Add(stats.IOReg, d.Dev.Regs().WriteCost())
+	d.add(b, stats.IOReg, "doorbell", d.Dev.Regs().WriteCost())
 	// T3: the NIC fetches the descriptor and DMAs the packet out.
-	b.Add(stats.TxDMA, d.Dev.DescriptorFetch()+d.Dev.PacketRead(p.Size))
+	d.add(b, stats.TxDMA, "descFetch+packetRead", d.Dev.DescriptorFetch()+d.Dev.PacketRead(p.Size))
 	return b
 }
 
@@ -135,15 +148,15 @@ func (d *HWDriver) TX(p nic.Packet) stats.Breakdown {
 func (d *HWDriver) RX(p nic.Packet) stats.Breakdown {
 	b := stats.Breakdown{}
 	// R1–R3: descriptor fetch, packet DMA into the host, ring update.
-	b.Add(stats.RxDMA, d.Dev.DescriptorFetch()+d.Dev.PacketWrite(p.Size)+d.Dev.DescriptorWriteback())
+	d.add(b, stats.RxDMA, "descFetch+packetWrite+wb", d.Dev.DescriptorFetch()+d.Dev.PacketWrite(p.Size)+d.Dev.DescriptorWriteback())
 	// R4: the polling driver notices the updated descriptor in host
 	// memory.
-	b.Add(stats.IOReg, d.Costs.PollCheck)
+	d.add(b, stats.IOReg, "pollCheck", d.Costs.PollCheck)
 	// R5: SKB creation and payload landing in the application buffer.
 	if d.ZeroCopy {
-		b.Add(stats.RxCopy, d.Costs.SKBAlloc+d.Costs.ZcpyPin)
+		d.add(b, stats.RxCopy, "skb+pin", d.Costs.SKBAlloc+d.Costs.ZcpyPin)
 	} else {
-		b.Add(stats.RxCopy, d.Costs.SKBAlloc+d.Costs.CopyTime(p.Size))
+		d.add(b, stats.RxCopy, "skb+copy", d.Costs.SKBAlloc+d.Costs.CopyTime(p.Size))
 	}
 	return b
 }

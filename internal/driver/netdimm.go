@@ -7,6 +7,7 @@ import (
 	"netdimm/internal/dram"
 	"netdimm/internal/kalloc"
 	"netdimm/internal/nic"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 	"netdimm/internal/stats"
 )
@@ -27,6 +28,9 @@ type NetDIMMDriver struct {
 	Zone  *kalloc.Zone
 	Cache *kalloc.AllocCache
 	Costs Costs
+	// Rec, if non-nil, records every driver phase as a lifecycle span (see
+	// HWDriver.Rec); nil keeps the uninstrumented path.
+	Rec *obs.Recorder
 
 	// CopyNeeded forces Alg. 1's slow path: the SKB lives outside the
 	// NetDIMM zone and must be CPU-copied into a DMA buffer first (used
@@ -106,6 +110,13 @@ func (d *NetDIMMDriver) Stats() DriverStats { return d.stats }
 // local converts a zone physical address to the device-local offset.
 func (d *NetDIMMDriver) local(phys int64) int64 { return phys - d.Zone.Base }
 
+// add accumulates one named phase into breakdown component c and, when a
+// recorder is attached, records it as a lifecycle span (see HWDriver.add).
+func (d *NetDIMMDriver) add(b stats.Breakdown, c stats.Component, phase string, t sim.Time) {
+	b.Add(c, t)
+	d.Rec.Advance(string(c), phase, t)
+}
+
 // TX implements Machine, following Alg. 1 lines 1–10.
 func (d *NetDIMMDriver) TX(p nic.Packet) stats.Breakdown {
 	b, _ := d.TXData(p, nil)
@@ -130,7 +141,7 @@ func (d *NetDIMMDriver) TXData(p nic.Packet, payload []byte) (stats.Breakdown, [
 	// Line 2: txDesc[next].dma = allocCache[txSKB.data]. The lookup always
 	// runs; only the slow path consumes the page (on the fast path the
 	// descriptor points at the SKB data, which already lives in the zone).
-	b.Add(stats.TxCopy, d.Costs.SKBAlloc+d.Costs.AllocCacheLookup+d.Costs.DescWrite)
+	d.add(b, stats.TxCopy, "skb+allocLookup+desc", d.Costs.SKBAlloc+d.Costs.AllocCacheLookup+d.Costs.DescWrite)
 
 	dmaBuf := d.appBuf
 	if d.CopyNeeded {
@@ -146,10 +157,10 @@ func (d *NetDIMMDriver) TXData(p nic.Packet, payload []byte) (stats.Breakdown, [
 			d.stats.AllocFast++
 		} else {
 			d.stats.AllocSlow++
-			b.Add(stats.TxCopy, d.Costs.SlowAllocPages)
+			d.add(b, stats.TxCopy, "slowAllocPages", d.Costs.SlowAllocPages)
 		}
-		b.Add(stats.TxCopy, d.Costs.CopyTime(p.Size))
-		b.Add(stats.TxFlush, d.Costs.FlushTime(p.Size))
+		d.add(b, stats.TxCopy, "cpuCopy", d.Costs.CopyTime(p.Size))
+		d.add(b, stats.TxFlush, "bufFlush", d.Costs.FlushTime(p.Size))
 		if payload != nil {
 			// The CPU copy: payload lands in the DMA buffer.
 			d.Dev.WriteData(d.local(dmaBuf), clip(payload, p.Size))
@@ -159,7 +170,7 @@ func (d *NetDIMMDriver) TXData(p nic.Packet, payload []byte) (stats.Breakdown, [
 		// flush its cachelines so the nNIC reads fresh data.
 		d.stats.TxFast++
 		d.stats.AllocFast++
-		b.Add(stats.TxFlush, d.Costs.FlushTime(p.Size))
+		d.add(b, stats.TxFlush, "bufFlush", d.Costs.FlushTime(p.Size))
 		if payload != nil {
 			// The application wrote straight into its NET_i buffer.
 			d.Dev.WriteData(d.local(d.appBuf), clip(payload, p.Size))
@@ -168,12 +179,12 @@ func (d *NetDIMMDriver) TXData(p nic.Packet, payload []byte) (stats.Breakdown, [
 	// Lines 9–10: set and flush size+flags — the 64-bit posted write that
 	// kicks off transmission, travelling the memory channel.
 	d.txRing.Push(nic.Descriptor{BufAddr: dmaBuf, Len: p.Size, Owned: true})
-	b.Add(stats.TxFlush, d.Costs.FlushTime(nic.DescriptorBytes))
-	b.Add(stats.IOReg, bus.WriteCost())
+	d.add(b, stats.TxFlush, "descFlush", d.Costs.FlushTime(nic.DescriptorBytes))
+	d.add(b, stats.IOReg, "sizeWrite", bus.WriteCost())
 
 	// nController fetches the packet from local DRAM into the nNIC; the
 	// nNIC then runs the same MAC pipeline as any full-blown NIC.
-	b.Add(stats.TxDMA, nic.MACPipeline+d.measure(func(done func()) {
+	d.add(b, stats.TxDMA, "fetch+macPipeline", nic.MACPipeline+d.measure(func(done func()) {
 		if err := d.Dev.TransmitFetch(d.local(dmaBuf), p.Size, done); err != nil {
 			done()
 		}
@@ -235,7 +246,7 @@ func (d *NetDIMMDriver) RXData(p nic.Packet, payload []byte) (stats.Breakdown, [
 		rxBuf = d.appBuf
 		d.stats.ZoneExhausted++
 	}
-	b.Add(stats.RxDMA, nic.MACPipeline+d.measure(func(done func()) {
+	d.add(b, stats.RxDMA, "macPipeline+deliver", nic.MACPipeline+d.measure(func(done func()) {
 		if err := d.Dev.ReceivePacketData(d.local(rxBuf), p.Size, payload, done); err != nil {
 			done()
 		}
@@ -251,12 +262,12 @@ func (d *NetDIMMDriver) RXData(p nic.Packet, payload []byte) (stats.Breakdown, [
 		d.stats.PollMisses++
 	}
 	rf.AckRX()
-	b.Add(stats.IOReg, bus.ReadCost())
+	d.add(b, stats.IOReg, "pollStatus", bus.ReadCost())
 
 	// Line 12: invalidate rxDesc to fetch fresh descriptor data, then
 	// re-read it over the channel.
-	b.Add(stats.RxInvalidate, d.Costs.FlushTime(nic.DescriptorBytes))
-	b.Add(stats.IOReg, bus.ReadCost())
+	d.add(b, stats.RxInvalidate, "descInvalidate", d.Costs.FlushTime(nic.DescriptorBytes))
+	d.add(b, stats.IOReg, "descReread", bus.ReadCost())
 
 	// Line 13: rxSKB.data = allocCache[rxDesc.dma] — sub-array affine so
 	// the clone below runs in FPM.
@@ -272,12 +283,12 @@ func (d *NetDIMMDriver) RXData(p nic.Packet, payload []byte) (stats.Breakdown, [
 		d.stats.AllocSlow++
 		alloc += d.Costs.SlowAllocPages
 	}
-	b.Add(stats.RxCopy, d.Costs.SKBAlloc+alloc)
+	d.add(b, stats.RxCopy, "skb+allocLookup", d.Costs.SKBAlloc+alloc)
 
 	// Line 14: netdimmClone(rxSKB.data, rxDesc.dma, size). The CPU writes
 	// dst/src/size into the NetDIMM register file (one posted line write);
 	// the size write kicks the in-memory clone engine.
-	b.Add(stats.IOReg, bus.WriteCost())
+	d.add(b, stats.IOReg, "cloneRegs", bus.WriteCost())
 	var mode dram.CloneMode
 	cloneLat := d.measureVal(func(done func()) {
 		rf.Write(core.RegCloneSrc, uint64(d.local(rxBuf)))
@@ -297,11 +308,11 @@ func (d *NetDIMMDriver) RXData(p nic.Packet, payload []byte) (stats.Breakdown, [
 	} else {
 		d.stats.ClonesOther++
 	}
-	b.Add(stats.RxCopy, cloneLat)
+	d.add(b, stats.RxCopy, "clone", cloneLat)
 
 	// Line 15: the stack processes the header — read from the DMA buffer,
 	// which hits nCache (header caching).
-	b.Add(stats.RxCopy, d.measure(func(done func()) {
+	d.add(b, stats.RxCopy, "headerRead", d.measure(func(done func()) {
 		d.Dev.HostReadLine(d.local(rxBuf), func(hit bool, lat sim.Time) {
 			if hit {
 				d.stats.HeaderCacheHits++

@@ -6,6 +6,8 @@ import (
 	"netdimm/internal/ethernet"
 	"netdimm/internal/kalloc"
 	"netdimm/internal/nic"
+	"netdimm/internal/obs"
+	"netdimm/internal/pcie"
 	"netdimm/internal/sim"
 	"netdimm/internal/stats"
 )
@@ -18,6 +20,46 @@ func OneWay(tx, rx Machine, p nic.Packet, fabric ethernet.Fabric) stats.Breakdow
 	b := tx.TX(p)
 	b.Add(stats.Wire, fabric.DirectWireTime(p.Size))
 	return b.Plus(rx.RX(p))
+}
+
+// OneWayObserved is OneWay with the observability plane attached: driver
+// phases become lifecycle spans on cell c's per-component tracks, PCIe
+// links and NetDIMM devices publish their counters and series, and sim
+// engines get event probes. A nil cell is exactly OneWay; per-component
+// track sums equal the returned breakdown's components by construction.
+func OneWayObserved(tx, rx Machine, p nic.Packet, fabric ethernet.Fabric, c *obs.Cell) stats.Breakdown {
+	if c == nil {
+		return OneWay(tx, rx, p, fabric)
+	}
+	rec := c.Recorder(tx.Name())
+	attachObs(tx, c, rec, "tx")
+	attachObs(rx, c, rec, "rx")
+	b := tx.TX(p)
+	wire := fabric.DirectWireTime(p.Size)
+	b.Add(stats.Wire, wire)
+	rec.Advance(string(stats.Wire), "wire", wire)
+	return b.Plus(rx.RX(p))
+}
+
+// attachObs wires one endpoint's hooks into the cell: the shared recorder
+// for driver phase spans, plus whatever the concrete machine exposes —
+// PCIe link counters for a dNIC, device/rank/controller hooks and a
+// kernel-event probe for a NetDIMM. side distinguishes the two endpoints
+// in metric names ("tx"/"rx").
+func attachObs(m Machine, c *obs.Cell, rec *obs.Recorder, side string) {
+	reg := c.Metrics()
+	switch d := m.(type) {
+	case *HWDriver:
+		d.Rec = rec
+		if dn, ok := d.Dev.(nic.DNIC); ok && reg != nil {
+			dn.Link.Obs = pcie.NewLinkObs(reg, d.Name()+"."+side+".pcie")
+			d.Dev = dn
+		}
+	case *NetDIMMDriver:
+		d.Rec = rec
+		d.Dev.Observe(c, "NetDIMM."+side)
+		obs.NewEngineProbe(reg, "NetDIMM."+side+".engine").Attach(d.Eng)
+	}
 }
 
 // NewMachine wraps a NIC device model and a software cost set into a

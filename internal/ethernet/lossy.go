@@ -15,6 +15,9 @@ type LossyPath struct {
 	// Inj supplies the fault decisions; nil (or a zero Spec) makes every
 	// attempt a loss-free delivery at exactly the fabric's wire time.
 	Inj *fault.Injector
+	// Obs, if non-nil, tallies attempt outcomes and wire occupancy. The
+	// pointer survives value copies of the path.
+	Obs *PathObs
 }
 
 // Attempt draws one transmission attempt for a frame of n bytes. It
@@ -28,6 +31,12 @@ type LossyPath struct {
 //   - Corrupted: the full wire time — the frame reaches the receiver,
 //     fails the FCS check there and is discarded.
 func (lp LossyPath) Attempt(n int) (fault.Outcome, sim.Time) {
+	out, wire := lp.attempt(n)
+	lp.Obs.record(out, wire)
+	return out, wire
+}
+
+func (lp LossyPath) attempt(n int) (fault.Outcome, sim.Time) {
 	if lp.Inj != nil {
 		if lp.Inj.DropFrame() {
 			return fault.Dropped, 0

@@ -1,0 +1,48 @@
+package ethernet
+
+import (
+	"netdimm/internal/fault"
+	"netdimm/internal/obs"
+	"netdimm/internal/sim"
+)
+
+// PathObs counts per-path transmission outcomes and accumulated wire
+// occupancy for the observability plane. All methods are nil-safe, so a
+// LossyPath with no observer attached pays only one branch per attempt.
+type PathObs struct {
+	Delivered *obs.Counter
+	Dropped   *obs.Counter
+	Corrupted *obs.Counter
+	WireBusy  *obs.Counter // total wire time consumed, in picoseconds
+}
+
+// NewPathObs registers the path counters under prefix (names
+// prefix+".delivered", ".dropped", ".corrupted", ".wire_busy_ps"). A nil
+// registry yields a nil observer, keeping the disabled path free.
+func NewPathObs(reg *obs.Registry, prefix string) *PathObs {
+	if reg == nil {
+		return nil
+	}
+	return &PathObs{
+		Delivered: reg.Counter(prefix + ".delivered"),
+		Dropped:   reg.Counter(prefix + ".dropped"),
+		Corrupted: reg.Counter(prefix + ".corrupted"),
+		WireBusy:  reg.Counter(prefix + ".wire_busy_ps"),
+	}
+}
+
+// record tallies one attempt.
+func (p *PathObs) record(out fault.Outcome, wire sim.Time) {
+	if p == nil {
+		return
+	}
+	switch out {
+	case fault.Delivered:
+		p.Delivered.Inc()
+	case fault.Dropped:
+		p.Dropped.Inc()
+	case fault.Corrupted:
+		p.Corrupted.Inc()
+	}
+	p.WireBusy.Add(int64(wire))
+}

@@ -10,6 +10,7 @@ import (
 	"netdimm/internal/memctrl"
 	"netdimm/internal/nic"
 	"netdimm/internal/nvdimmp"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 	"netdimm/internal/spec"
 	"netdimm/internal/stats"
@@ -67,6 +68,49 @@ type FaultRow struct {
 	Delivered int
 	Failed    int
 	Counters  stats.FaultCounters
+	// Hist holds the cell's full latency sample set, so callers can merge
+	// cells (see FaultTails) or compute percentiles beyond P50/P99.
+	Hist *stats.Histogram
+}
+
+// FaultTails merges every rate's sample set per architecture (via
+// stats.Histogram.Merge) and reports the cross-rate latency tail, in
+// FaultSweepArchs order. Architectures with no delivered packets are
+// skipped.
+type FaultTail struct {
+	Arch     string
+	Count    int
+	Mean     sim.Time
+	P50, P99 sim.Time
+}
+
+// FaultTails aggregates sweep rows into per-architecture tails.
+func FaultTails(rows []FaultRow) []FaultTail {
+	merged := make(map[string]*stats.Histogram)
+	for _, r := range rows {
+		if r.Hist == nil {
+			continue
+		}
+		if merged[r.Arch] == nil {
+			merged[r.Arch] = &stats.Histogram{}
+		}
+		merged[r.Arch].Merge(r.Hist)
+	}
+	var tails []FaultTail
+	for _, arch := range FaultSweepArchs {
+		h := merged[arch]
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		tails = append(tails, FaultTail{
+			Arch:  arch,
+			Count: h.Count(),
+			Mean:  h.Mean(),
+			P50:   h.Percentile(50),
+			P99:   h.Percentile(99),
+		})
+	}
+	return tails
 }
 
 // FaultSweep measures one-way latency degradation under injected frame
@@ -81,14 +125,34 @@ type FaultRow struct {
 // Cells are deterministic: each builds its own engine and injector from a
 // per-cell seed, so results are identical sequentially and in parallel.
 func FaultSweep(sp spec.Spec, rates []float64, cfg FaultSweepConfig, parallelism int) ([]FaultRow, error) {
+	rows, _, err := FaultSweepObserved(sp, rates, cfg, parallelism, obs.Spec{})
+	return rows, err
+}
+
+// FaultSweepObserved is FaultSweep with the observability plane: when
+// ospec enables collection, each (arch, rate) cell gets a Cell labelled
+// "faultsweep/<arch>/loss=<rate>" with retransmit/backoff and NVDIMM-P
+// recovery spans, path outcome counters, engine probes and the cell's
+// fault tallies. A zero ospec yields a nil observer and the exact
+// FaultSweep behaviour.
+func FaultSweepObserved(sp spec.Spec, rates []float64, cfg FaultSweepConfig, parallelism int, ospec obs.Spec) ([]FaultRow, *obs.Observer, error) {
 	cfg = cfg.withDefaults()
 	n := len(FaultSweepArchs) * len(rates)
+	var o *obs.Observer
+	if ospec.Enabled() {
+		labels := make([]string, n)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("faultsweep/%s/loss=%g",
+				FaultSweepArchs[i/len(rates)], rates[i%len(rates)])
+		}
+		o = obs.New(ospec, labels...)
+	}
 	rows := make([]FaultRow, n)
 	errs := make([]error, n)
 	forEachCell(n, parallelism, func(i int) {
 		arch := FaultSweepArchs[i/len(rates)]
 		rate := rates[i%len(rates)]
-		row, err := faultCell(sp, arch, rate, cfg, uint64(i))
+		row, err := faultCell(sp, arch, rate, cfg, uint64(i), o.Cell(i))
 		if err != nil {
 			errs[i] = fmt.Errorf("faultsweep: %s at loss %g: %w", arch, rate, err)
 			return
@@ -96,13 +160,13 @@ func FaultSweep(sp spec.Spec, rates []float64, cfg FaultSweepConfig, parallelism
 		rows[i] = row
 	})
 	if err := firstError(errs); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return rows, nil
+	return rows, o, nil
 }
 
 // faultCell runs one (arch, rate) cell.
-func faultCell(sp spec.Spec, arch string, rate float64, cfg FaultSweepConfig, cell uint64) (FaultRow, error) {
+func faultCell(sp spec.Spec, arch string, rate float64, cfg FaultSweepConfig, cell uint64, oc *obs.Cell) (FaultRow, error) {
 	d := sp.MustDerive()
 	fspec := d.Spec.Fault
 	fspec.DropProb = rate
@@ -120,8 +184,14 @@ func faultCell(sp spec.Spec, arch string, rate float64, cfg FaultSweepConfig, ce
 	p := nic.Packet{Size: cfg.Size}
 	txCost := tx.TX(p).Total()
 	rxCost := rx.RX(p).Total()
-	path := ethernet.LossyPath{Fabric: d.Fabric(d.SwitchLatency), Inj: inj}
-	rt := &nic.Retransmitter{Eng: eng, Policy: fspec.NetPolicy(), Counters: &inj.Counters}
+	path := ethernet.LossyPath{Fabric: d.Fabric(d.SwitchLatency), Inj: inj,
+		Obs: ethernet.NewPathObs(oc.Metrics(), arch+".path")}
+	rt := &nic.Retransmitter{Eng: eng, Policy: fspec.NetPolicy(), Counters: &inj.Counters,
+		Trace: oc.Track(arch + "/retrans")}
+	if reader != nil {
+		reader.Observe(oc.Track(arch + "/nvdimmp"))
+	}
+	obs.NewEngineProbe(oc.Metrics(), arch+".engine").Attach(eng)
 
 	// The inter-packet gap only spaces sends out; it is not part of any
 	// latency sample.
@@ -170,6 +240,7 @@ func faultCell(sp spec.Spec, arch string, rate float64, cfg FaultSweepConfig, ce
 	if err := eng.Err(); err != nil {
 		return FaultRow{}, err
 	}
+	fault.PublishCounters(oc.Metrics(), arch+".fault", inj.Counters)
 
 	return FaultRow{
 		Arch:      arch,
@@ -180,6 +251,7 @@ func faultCell(sp spec.Spec, arch string, rate float64, cfg FaultSweepConfig, ce
 		Delivered: delivered,
 		Failed:    failed,
 		Counters:  inj.Counters,
+		Hist:      &hist,
 	}, nil
 }
 

@@ -159,7 +159,7 @@ func TestFaultSweepMemoryFaults(t *testing.T) {
 }
 
 func TestFaultSweepValidatesArch(t *testing.T) {
-	if _, err := faultCell(spec.TableOne(), "quantum", 0, fsTestConfig(), 0); err == nil {
+	if _, err := faultCell(spec.TableOne(), "quantum", 0, fsTestConfig(), 0, nil); err == nil {
 		t.Fatal("unknown architecture accepted")
 	}
 }

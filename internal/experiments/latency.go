@@ -15,8 +15,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"netdimm/internal/driver"
 	"netdimm/internal/nic"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 	"netdimm/internal/spec"
 	"netdimm/internal/stats"
@@ -99,6 +102,25 @@ func (r Fig11Row) ReductionVsINIC() float64 {
 // described by sp. Each size uses fresh machines so bank and cache state do
 // not leak across rows; seeds vary per side so TX and RX devices differ.
 func Fig11(sp spec.Spec, sizes []int, switchLatency sim.Time, parallelism int) ([]Fig11Row, error) {
+	rows, _, err := Fig11Observed(sp, sizes, switchLatency, parallelism, obs.Spec{})
+	return rows, err
+}
+
+// Fig11Observed is Fig11 with the observability plane: when ospec enables
+// tracing or metrics, every size gets its own cell (labelled
+// "fig11/size=<n>") holding per-architecture lifecycle spans whose
+// per-component track sums equal the reported breakdowns, plus substrate
+// metrics. With a zero ospec the returned observer is nil and the run is
+// identical to Fig11 — same cells, same event order, same numbers.
+func Fig11Observed(sp spec.Spec, sizes []int, switchLatency sim.Time, parallelism int, ospec obs.Spec) ([]Fig11Row, *obs.Observer, error) {
+	var o *obs.Observer
+	if ospec.Enabled() {
+		labels := make([]string, len(sizes))
+		for i, s := range sizes {
+			labels[i] = fmt.Sprintf("fig11/size=%d", s)
+		}
+		o = obs.New(ospec, labels...)
+	}
 	rows := make([]Fig11Row, len(sizes))
 	errs := make([]error, len(sizes))
 	forEachCell(len(sizes), parallelism, func(i int) {
@@ -106,6 +128,7 @@ func Fig11(sp spec.Spec, sizes []int, switchLatency sim.Time, parallelism int) (
 		fabric := d.Fabric(switchLatency)
 		size := sizes[i]
 		p := nic.Packet{Size: size}
+		cell := o.Cell(i)
 		ndTX, err := d.NewNetDIMM(uint64(2*i + 1))
 		if err != nil {
 			errs[i] = err
@@ -118,15 +141,15 @@ func Fig11(sp spec.Spec, sizes []int, switchLatency sim.Time, parallelism int) (
 		}
 		rows[i] = Fig11Row{
 			Size:    size,
-			DNIC:    driver.OneWay(d.NewDNIC(false), d.NewDNIC(false), p, fabric),
-			INIC:    driver.OneWay(d.NewINIC(false), d.NewINIC(false), p, fabric),
-			NetDIMM: driver.OneWay(ndTX, ndRX, p, fabric),
+			DNIC:    driver.OneWayObserved(d.NewDNIC(false), d.NewDNIC(false), p, fabric, cell),
+			INIC:    driver.OneWayObserved(d.NewINIC(false), d.NewINIC(false), p, fabric, cell),
+			NetDIMM: driver.OneWayObserved(ndTX, ndRX, p, fabric, cell),
 		}
 	})
 	if err := firstError(errs); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return rows, nil
+	return rows, o, nil
 }
 
 // AverageReduction computes the mean relative reduction of NetDIMM vs the

@@ -4,6 +4,7 @@ import (
 	"netdimm/internal/core"
 	"netdimm/internal/memctrl"
 	"netdimm/internal/nvdimmp"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 	"netdimm/internal/spec"
 	"netdimm/internal/stats"
@@ -29,16 +30,34 @@ type MixedChannelResult struct {
 // busy local DRAM) over one channel, tracking every transaction with the
 // NVDIMM-P request-ID machinery.
 func MixedChannel(sp spec.Spec, n int, seed uint64) (MixedChannelResult, error) {
+	res, _, err := MixedChannelObserved(sp, n, seed, obs.Spec{})
+	return res, err
+}
+
+// MixedChannelObserved is MixedChannel with the observability plane: one
+// cell ("mixed") collects DDR controller transaction spans and queue
+// depth, NetDIMM device metrics, an NVDIMM-P outstanding-transaction
+// series, and an engine probe. A zero ospec yields a nil observer and the
+// exact MixedChannel behaviour.
+func MixedChannelObserved(sp spec.Spec, n int, seed uint64, ospec obs.Spec) (MixedChannelResult, *obs.Observer, error) {
 	if n <= 0 {
 		n = 200
 	}
+	var o *obs.Observer
+	if ospec.Enabled() {
+		o = obs.New(ospec, "mixed")
+	}
+	cell := o.Cell(0)
 	d := sp.MustDerive()
 	eng := sim.NewEngine()
 	ddr := memctrl.New(eng, d.MC, memctrl.NewRankSet(d.HostTiming, 1))
+	ddr.Observe(cell.Track("ddr/mc"), cell.Metrics().Series("ddr.readq"))
+	obs.NewEngineProbe(cell.Metrics(), "engine").Attach(eng)
 
 	cfg := d.Core
 	cfg.Seed = seed
 	dev := core.NewDevice(eng, cfg)
+	dev.Observe(cell, "netdimm")
 	// Keep the NetDIMM's local DRAM busy with nNIC traffic, so host reads
 	// see non-deterministic latency (the arbitration of Sec. 4.1).
 	for p := 0; p < 32; p++ {
@@ -46,6 +65,9 @@ func MixedChannel(sp spec.Spec, n int, seed uint64) (MixedChannelResult, error) 
 	}
 
 	tracker := nvdimmp.NewTracker(cfg.Protocol, 64)
+	if s := cell.Metrics().Series("nvdimmp.outstanding"); s != nil {
+		tracker.SetProbe(func(now sim.Time, outstanding int) { s.Sample(now, int64(outstanding)) })
+	}
 	rng := sim.NewRand(seed)
 
 	var res MixedChannelResult
@@ -105,5 +127,5 @@ func MixedChannel(sp spec.Spec, n int, seed uint64) (MixedChannelResult, error) 
 	res.NetDIMMMean = ndHist.Mean()
 	res.OutOfOrder = ooo
 	res.MaxOutstandingIDs = maxOut
-	return res, nil
+	return res, o, nil
 }

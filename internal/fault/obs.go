@@ -1,0 +1,24 @@
+package fault
+
+import (
+	"netdimm/internal/obs"
+	"netdimm/internal/stats"
+)
+
+// PublishCounters folds a fault-counter block into the metrics registry
+// under prefix (e.g. "netdimm.fault"). It lives here rather than in stats
+// because stats sits below obs in the import order. A nil registry is a
+// no-op.
+func PublishCounters(reg *obs.Registry, prefix string, c stats.FaultCounters) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(prefix + ".frames_dropped").Add(int64(c.FramesDropped))
+	reg.Counter(prefix + ".frames_corrupted").Add(int64(c.FramesCorrupted))
+	reg.Counter(prefix + ".port_drops").Add(int64(c.PortDrops))
+	reg.Counter(prefix + ".retransmits").Add(int64(c.Retransmits))
+	reg.Counter(prefix + ".delivery_failures").Add(int64(c.DeliveryFailures))
+	reg.Counter(prefix + ".mem_timeouts").Add(int64(c.MemTimeouts))
+	reg.Counter(prefix + ".mem_retries").Add(int64(c.MemRetries))
+	reg.Counter(prefix + ".mem_failures").Add(int64(c.MemFailures))
+}

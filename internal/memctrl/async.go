@@ -5,6 +5,7 @@ import (
 
 	"netdimm/internal/fault"
 	"netdimm/internal/nvdimmp"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 )
 
@@ -25,6 +26,9 @@ type AsyncReader struct {
 	read   func(addr int64, done func())
 	inj    *fault.Injector
 	policy fault.RetryPolicy
+	// trace, when attached via Observe, records one span per protocol
+	// episode: completed XRDs, RDY timeouts and re-issue backoffs.
+	trace *obs.Track
 }
 
 // NewAsyncReader builds a reader over the tracker and device read
@@ -36,6 +40,9 @@ func NewAsyncReader(eng *sim.Engine, tracker *nvdimmp.Tracker, read func(addr in
 	}
 	return &AsyncReader{eng: eng, tracker: tracker, read: read, inj: inj, policy: policy}
 }
+
+// Observe attaches (or, with nil, detaches) the recovery-path span track.
+func (a *AsyncReader) Observe(t *obs.Track) { a.trace = t }
 
 // Read performs one recoverable asynchronous read. done fires exactly once:
 // with the end-to-end latency (including any timeout and backoff spans) on
@@ -54,6 +61,7 @@ func (a *AsyncReader) attempt(addr int64, n int, start sim.Time, done func(sim.T
 	}
 	id := tx.ID
 	lost := a.inj != nil && a.inj.LoseRDY()
+	issued := a.eng.Now()
 
 	// current guards against the stale device callback of an aborted
 	// attempt completing a later re-issue of the same request ID.
@@ -66,6 +74,7 @@ func (a *AsyncReader) attempt(addr int64, n int, start sim.Time, done func(sim.T
 			}
 			current = false
 			a.tracker.Abort(id)
+			a.trace.Span("rdy-timeout", issued, a.eng.Now())
 			a.recover(addr, n, start, done,
 				fmt.Errorf("memctrl: RDY timeout after %v for addr %#x", d, addr))
 		})
@@ -82,6 +91,7 @@ func (a *AsyncReader) attempt(addr int64, n int, start sim.Time, done func(sim.T
 		}
 		a.tracker.Ready(id, a.eng.Now())
 		a.tracker.Complete(id)
+		a.trace.Span("xrd", issued, a.eng.Now())
 		done(a.eng.Now()-start, nil)
 	})
 }
@@ -100,5 +110,6 @@ func (a *AsyncReader) recover(addr int64, n int, start sim.Time, done func(sim.T
 	if a.inj != nil {
 		a.inj.Counters.MemRetries++
 	}
+	a.trace.Span("re-issue backoff", a.eng.Now(), a.eng.Now()+delay)
 	a.eng.Schedule(delay, func() { a.attempt(addr, n+1, start, done) })
 }

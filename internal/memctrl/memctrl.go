@@ -13,6 +13,7 @@ import (
 
 	"netdimm/internal/addrmap"
 	"netdimm/internal/dram"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 )
 
@@ -167,6 +168,11 @@ type Controller struct {
 	pickQueued bool
 
 	stats Stats
+
+	// Observability hooks (see Observe): nil when disabled, and every use
+	// is a nil-safe no-op, so the scheduling path is unchanged when off.
+	trk   *obs.Track
+	depth *obs.Series
 }
 
 // New returns a controller driving backend on the given engine.
@@ -186,6 +192,15 @@ func (c *Controller) ResetStats() { c.stats = Stats{} }
 // QueueDepths reports the current read and write queue occupancy.
 func (c *Controller) QueueDepths() (reads, writes int) {
 	return len(c.readQ), len(c.writeQ)
+}
+
+// Observe attaches the observability plane: trk records one span per
+// completed transaction (submit to completion, named by direction and
+// row-buffer outcome), depth samples read-queue occupancy at every enqueue
+// and issue. Either hook may be nil; Observe(nil, nil) detaches both.
+func (c *Controller) Observe(trk *obs.Track, depth *obs.Series) {
+	c.trk = trk
+	c.depth = depth
 }
 
 // Submit enqueues a request. It returns an error if the target queue is
@@ -210,6 +225,7 @@ func (c *Controller) Submit(req *Request) error {
 		if d := len(c.readQ); d > c.stats.MaxReadQueueDepth {
 			c.stats.MaxReadQueueDepth = d
 		}
+		c.depth.Sample(req.submitted, int64(len(c.readQ)))
 	}
 	c.schedulePick()
 	return nil
@@ -257,6 +273,9 @@ func (c *Controller) pick() {
 	*q = append((*q)[:idx], (*q)[idx+1:]...)
 
 	now := c.eng.Now()
+	if !req.Write {
+		c.depth.Sample(now, int64(len(c.readQ)))
+	}
 	done, kind := c.backend.Access(now+c.cfg.TCMD, req.Addr, req.Write, req.Bytes)
 	// The front end issues one command per burst slot: command processing
 	// pipelines, so a row-friendly stream is bus-bound, not tCMD+tCL-bound.
@@ -273,6 +292,13 @@ func (c *Controller) pick() {
 		} else {
 			c.stats.ReadsDone++
 			c.stats.ReadLatencySum += done - req.submitted
+		}
+		if c.trk != nil {
+			dir := "rd "
+			if req.Write {
+				dir = "wr "
+			}
+			c.trk.Span(dir+kind.String(), req.submitted, done)
 		}
 		c.stats.BytesTransferred += req.Bytes
 		if req.Done != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"netdimm/internal/fault"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 	"netdimm/internal/stats"
 )
@@ -21,6 +22,10 @@ type Retransmitter struct {
 	// Counters, if non-nil, receives the retransmit/failure tallies
 	// (usually the owning injector's counter block).
 	Counters *stats.FaultCounters
+	// Trace, if non-nil, records one span per transmission attempt and
+	// per backoff wait, so a fault-sweep trace shows exactly where a
+	// packet's latency went.
+	Trace *obs.Track
 }
 
 // Send delivers one frame through try, retrying on faults. try draws
@@ -34,10 +39,15 @@ func (rt *Retransmitter) Send(try func(attempt int) (fault.Outcome, sim.Time), d
 }
 
 func (rt *Retransmitter) attempt(n int, try func(int) (fault.Outcome, sim.Time), done func(int, error)) {
+	now := rt.Eng.Now()
 	outcome, wire := try(n)
 	if outcome == fault.Delivered {
+		rt.Trace.Span("xmit", now, now+wire)
 		rt.Eng.Schedule(wire, func() { done(n+1, nil) })
 		return
+	}
+	if rt.Trace != nil {
+		rt.Trace.Span("xmit ("+outcome.String()+")", now, now+wire)
 	}
 	// The frame was lost or discarded. A corrupted frame consumed its full
 	// wire time before the receiver dropped it; either way the sender only
@@ -48,7 +58,9 @@ func (rt *Retransmitter) attempt(n int, try func(int) (fault.Outcome, sim.Time),
 		if rt.Counters != nil {
 			rt.Counters.DeliveryFailures++
 		}
-		rt.Eng.Schedule(wire+rt.Policy.Backoff.Delay(n), func() {
+		giveUp := rt.Policy.Backoff.Delay(n)
+		rt.Trace.Span("give-up timeout", now+wire, now+wire+giveUp)
+		rt.Eng.Schedule(wire+giveUp, func() {
 			done(n+1, fmt.Errorf("nic: frame %s after %d attempts: %w", outcome, n+1, fault.ErrExhausted))
 		})
 		return
@@ -56,5 +68,6 @@ func (rt *Retransmitter) attempt(n int, try func(int) (fault.Outcome, sim.Time),
 	if rt.Counters != nil {
 		rt.Counters.Retransmits++
 	}
+	rt.Trace.Span("backoff", now+wire, now+wire+delay)
 	rt.Eng.Schedule(wire+delay, func() { rt.attempt(n+1, try, done) })
 }

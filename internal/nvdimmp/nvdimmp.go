@@ -84,6 +84,10 @@ type Tracker struct {
 	completed uint64
 	aborted   uint64
 	ooo       uint64 // completions that overtook an older transaction
+
+	// probe, when set, observes the outstanding-transaction count at the
+	// instants the tracker learns the time (Issue and Ready).
+	probe func(now sim.Time, outstanding int)
 }
 
 // NewTracker returns a tracker allowing up to maxOutstanding concurrent
@@ -112,6 +116,12 @@ func (tr *Tracker) Timeout() sim.Time { return tr.timeout }
 // Outstanding reports the number of in-flight transactions.
 func (tr *Tracker) Outstanding() int { return len(tr.pending) }
 
+// SetProbe attaches (or, with nil, detaches) an outstanding-count
+// observer. The protocol's Complete and Abort paths carry no timestamp, so
+// the probe fires on Issue and Ready — the instants the host MC knows the
+// time — which brackets every change an exported series needs.
+func (tr *Tracker) SetProbe(p func(now sim.Time, outstanding int)) { tr.probe = p }
+
 // Issue allocates a request ID for a read of addr at time now. It returns
 // an error when the ID space is exhausted (the MC must stall).
 func (tr *Tracker) Issue(now sim.Time, addr int64) (*Transaction, error) {
@@ -131,6 +141,9 @@ func (tr *Tracker) Issue(now sim.Time, addr int64) (*Transaction, error) {
 	tr.nextID++
 	tr.pending[tx.ID] = tx
 	tr.issued++
+	if tr.probe != nil {
+		tr.probe(now, len(tr.pending))
+	}
 	return tx, nil
 }
 
@@ -168,6 +181,9 @@ func (tr *Tracker) Ready(id RequestID, now sim.Time) error {
 	}
 	tx.ReadyAt = now
 	tx.ready = true
+	if tr.probe != nil {
+		tr.probe(now, len(tr.pending))
+	}
 	return nil
 }
 

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"fmt"
+
+	"netdimm/internal/stats"
+)
+
+// metricsTable flattens every cell's registry into one table: counters and
+// gauges report their value, series report last/max/points. Rows follow
+// cell-index then creation order, so output is deterministic and identical
+// across parallelism levels.
+func (o *Observer) metricsTable() *stats.Table {
+	t := &stats.Table{Header: []string{"cell", "kind", "metric", "value", "max", "points"}}
+	for _, c := range o.Cells() {
+		reg := c.Metrics()
+		for _, m := range reg.Counters() {
+			t.AddRow(c.Label(), "counter", m.Name(), fmt.Sprintf("%d", m.Value()), "", "")
+		}
+		for _, m := range reg.Gauges() {
+			t.AddRow(c.Label(), "gauge", m.Name(), fmt.Sprintf("%d", m.Value()), "", "")
+		}
+		for _, m := range reg.AllSeries() {
+			t.AddRow(c.Label(), "series", m.Name(),
+				fmt.Sprintf("%d", m.Last()), fmt.Sprintf("%d", m.Max()), fmt.Sprintf("%d", m.Count()))
+		}
+	}
+	return t
+}
+
+// MetricsTable renders the registry contents of every cell as an aligned
+// text table.
+func (o *Observer) MetricsTable() string { return o.metricsTable().String() }
+
+// MetricsCSV renders the same rows as CSV.
+func (o *Observer) MetricsCSV() string { return o.metricsTable().CSV() }
+
+// HasMetrics reports whether any cell registered at least one metric.
+func (o *Observer) HasMetrics() bool {
+	for _, c := range o.Cells() {
+		reg := c.Metrics()
+		if len(reg.Counters())+len(reg.Gauges())+len(reg.AllSeries()) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,231 @@
+package obs
+
+import "netdimm/internal/sim"
+
+// Counter is a monotonically growing named tally. The nil Counter absorbs
+// updates silently, so model code can hold one unconditionally.
+type Counter struct {
+	name string
+	v    int64
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add accumulates n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the tally (0 for the nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a named last-value metric.
+type Gauge struct {
+	name string
+	v    int64
+}
+
+// Name returns the gauge's registry name.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Set records the current value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the last recorded value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Sample is one (instant, value) point of a Series.
+type Sample struct {
+	At sim.Time
+	V  int64
+}
+
+// Series is a time-series sampler for stepwise metrics: memory-controller
+// queue depth, DRAM bank occupancy, NVDIMM-P outstanding transactions.
+// Points are run-length compressed — a sample equal to the last recorded
+// value is dropped, and a re-sample at the same instant overwrites —
+// which keeps the series exactly the step function the metric traced.
+type Series struct {
+	name    string
+	samples []Sample
+}
+
+// Name returns the series' registry name.
+func (s *Series) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Sample records the metric's value at the given instant.
+func (s *Series) Sample(at sim.Time, v int64) {
+	if s == nil {
+		return
+	}
+	if n := len(s.samples); n > 0 {
+		if s.samples[n-1].V == v {
+			return
+		}
+		if s.samples[n-1].At == at {
+			s.samples[n-1].V = v
+			return
+		}
+	}
+	s.samples = append(s.samples, Sample{At: at, V: v})
+}
+
+// Samples returns the recorded points in time order.
+func (s *Series) Samples() []Sample {
+	if s == nil {
+		return nil
+	}
+	return s.samples
+}
+
+// Count returns the number of recorded points.
+func (s *Series) Count() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.samples)
+}
+
+// Last returns the most recent value (0 when empty).
+func (s *Series) Last() int64 {
+	if s == nil || len(s.samples) == 0 {
+		return 0
+	}
+	return s.samples[len(s.samples)-1].V
+}
+
+// Max returns the largest recorded value (0 when empty).
+func (s *Series) Max() int64 {
+	var m int64
+	if s != nil {
+		for _, p := range s.samples {
+			if p.V > m {
+				m = p.V
+			}
+		}
+	}
+	return m
+}
+
+// Registry holds one cell's named metrics. Each kind is get-or-create by
+// name, and rendering iterates in first-creation order, so identical
+// instruction streams produce identical output. The nil Registry hands out
+// nil metrics, keeping every downstream hook a no-op.
+type Registry struct {
+	counters []*Counter
+	gauges   []*Gauge
+	series   []*Series
+	cmap     map[string]*Counter
+	gmap     map[string]*Gauge
+	smap     map[string]*Series
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.cmap[name]; ok {
+		return c
+	}
+	if r.cmap == nil {
+		r.cmap = make(map[string]*Counter)
+	}
+	c := &Counter{name: name}
+	r.cmap[name] = c
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gmap[name]; ok {
+		return g
+	}
+	if r.gmap == nil {
+		r.gmap = make(map[string]*Gauge)
+	}
+	g := &Gauge{name: name}
+	r.gmap[name] = g
+	r.gauges = append(r.gauges, g)
+	return g
+}
+
+// Series returns the named series, creating it on first use.
+func (r *Registry) Series(name string) *Series {
+	if r == nil {
+		return nil
+	}
+	if s, ok := r.smap[name]; ok {
+		return s
+	}
+	if r.smap == nil {
+		r.smap = make(map[string]*Series)
+	}
+	s := &Series{name: name}
+	r.smap[name] = s
+	r.series = append(r.series, s)
+	return s
+}
+
+// Counters returns the counters in creation order.
+func (r *Registry) Counters() []*Counter {
+	if r == nil {
+		return nil
+	}
+	return r.counters
+}
+
+// Gauges returns the gauges in creation order.
+func (r *Registry) Gauges() []*Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.gauges
+}
+
+// AllSeries returns the series in creation order.
+func (r *Registry) AllSeries() []*Series {
+	if r == nil {
+		return nil
+	}
+	return r.series
+}

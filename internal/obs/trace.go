@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTrace exports the observer's spans and metric series as Chrome
+// trace-event JSON (the format ui.perfetto.dev and chrome://tracing load
+// directly). Each cell becomes one process (pid = cell index, process name
+// = cell label); each span track becomes one named thread; each series
+// becomes a counter track. Output is fully deterministic: cells, tracks,
+// spans and samples are walked in creation order and timestamps are
+// rendered exactly — microseconds with six decimal digits, one digit per
+// picosecond — so no float formatting can perturb a byte.
+func (o *Observer) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	sep := func() {
+		if first {
+			first = false
+			return
+		}
+		bw.WriteByte(',')
+	}
+	for pid, c := range o.Cells() {
+		sep()
+		fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, jsonString(c.Label()))
+		for tid, t := range c.Tracks() {
+			sep()
+			fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				pid, tid+1, jsonString(t.Name()))
+			for _, s := range t.Spans() {
+				sep()
+				fmt.Fprintf(bw, `{"name":%s,"cat":"span","ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s}`,
+					jsonString(s.Name), pid, tid+1, psToMicros(int64(s.Start)), psToMicros(int64(s.End-s.Start)))
+			}
+		}
+		for _, s := range c.Metrics().AllSeries() {
+			for _, p := range s.Samples() {
+				sep()
+				fmt.Fprintf(bw, `{"name":%s,"ph":"C","pid":%d,"ts":%s,"args":{"value":%d}}`,
+					jsonString(s.Name()), pid, psToMicros(int64(p.At)), p.V)
+			}
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// psToMicros renders a picosecond count as an exact decimal microsecond
+// value (a valid JSON number): 1_234_567ps -> "1.234567".
+func psToMicros(ps int64) string {
+	neg := ""
+	if ps < 0 {
+		neg, ps = "-", -ps
+	}
+	return fmt.Sprintf("%s%d.%06d", neg, ps/1_000_000, ps%1_000_000)
+}
+
+// jsonString quotes s as a JSON string literal. Track and metric names are
+// code-controlled, so only the mandatory escapes are handled.
+func jsonString(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, r := range s {
+		switch {
+		case r == '"':
+			sb.WriteString(`\"`)
+		case r == '\\':
+			sb.WriteString(`\\`)
+		case r < 0x20:
+			fmt.Fprintf(&sb, `\u%04x`, r)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

@@ -1,0 +1,47 @@
+package pcie
+
+import (
+	"netdimm/internal/obs"
+	"netdimm/internal/sim"
+)
+
+// LinkObs accumulates link activity when attached to a Link: one record
+// per modelled transfer operation (posted write, read round trip, DMA
+// stream), the payload bytes moved, and the accumulated link occupancy in
+// picoseconds — the raw material for the PCIe utilisation metric. Links
+// are value types, so the pointer is shared by every copy of an
+// instrumented Link; the nil LinkObs records nothing.
+type LinkObs struct {
+	// Transfers counts modelled link operations.
+	Transfers *obs.Counter
+	// Bytes counts payload bytes moved.
+	Bytes *obs.Counter
+	// BusyPs accumulates link occupancy in picoseconds; dividing by the
+	// observed interval yields utilisation.
+	BusyPs *obs.Counter
+}
+
+// NewLinkObs registers the link metrics under prefix (".transfers",
+// ".bytes", ".busy_ps"). A nil registry yields a nil LinkObs.
+func NewLinkObs(reg *obs.Registry, prefix string) *LinkObs {
+	if reg == nil {
+		return nil
+	}
+	return &LinkObs{
+		Transfers: reg.Counter(prefix + ".transfers"),
+		Bytes:     reg.Counter(prefix + ".bytes"),
+		BusyPs:    reg.Counter(prefix + ".busy_ps"),
+	}
+}
+
+// record tallies one modelled operation of n payload bytes lasting d.
+func (lo *LinkObs) record(n int, d sim.Time) {
+	if lo == nil {
+		return
+	}
+	lo.Transfers.Inc()
+	if n > 0 {
+		lo.Bytes.Add(int64(n))
+	}
+	lo.BusyPs.Add(int64(d))
+}

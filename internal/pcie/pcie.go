@@ -60,6 +60,11 @@ type Link struct {
 	// HeaderBytes is the TLP+framing overhead per packet on the wire
 	// (TLP header 12-16B + DLL 6B + framing 2B; 24B is representative).
 	HeaderBytes int
+
+	// Obs, when attached, tallies every modelled transfer (see obs.go).
+	// The pointer survives value copies of the Link, so instrumenting a
+	// device's embedded link instruments all of its uses.
+	Obs *LinkObs
 }
 
 // NewLink returns a link with [59]-calibrated constants.
@@ -148,7 +153,9 @@ func (l Link) serialize(n int) sim.Time {
 // bytes is visible at the far endpoint: doorbell writes, small descriptor
 // writes.
 func (l Link) PostedWrite(n int) sim.Time {
-	return l.StackLatency + l.serialize(n)
+	t := l.StackLatency + l.serialize(n)
+	l.Obs.record(n, t)
+	return t
 }
 
 // ReadRoundTrip returns the latency of a non-posted read (MRd) of n bytes:
@@ -157,7 +164,9 @@ func (l Link) PostedWrite(n int) sim.Time {
 func (l Link) ReadRoundTrip(n int) sim.Time {
 	tlps := l.tlpCount(n)
 	// Request TLP one way, completion(s) back with data.
-	return 2*l.StackLatency + l.CompletionOverhead + sim.Time(tlps-1)*l.serialize(l.MaxPayload) + l.serialize(l.lastTLP(n))
+	t := 2*l.StackLatency + l.CompletionOverhead + sim.Time(tlps-1)*l.serialize(l.MaxPayload) + l.serialize(l.lastTLP(n))
+	l.Obs.record(n, t)
+	return t
 }
 
 // DMAWrite returns the time for a device-initiated DMA write of n bytes to
@@ -165,10 +174,13 @@ func (l Link) ReadRoundTrip(n int) sim.Time {
 // effective bandwidth.
 func (l Link) DMAWrite(n int) sim.Time {
 	if n <= 0 {
+		l.Obs.record(0, l.StackLatency)
 		return l.StackLatency
 	}
 	stream := sim.Time(float64(n) / l.EffectiveBandwidth(l.MaxPayload) * float64(sim.Second))
-	return l.StackLatency + stream
+	t := l.StackLatency + stream
+	l.Obs.record(n, t)
+	return t
 }
 
 // DMARead returns the time for a device-initiated DMA read of n bytes from
@@ -179,7 +191,9 @@ func (l Link) DMARead(n int) sim.Time {
 		return l.ReadRoundTrip(0)
 	}
 	stream := sim.Time(float64(n) / l.EffectiveBandwidth(l.MaxPayload) * float64(sim.Second))
-	return 2*l.StackLatency + l.CompletionOverhead + stream
+	t := 2*l.StackLatency + l.CompletionOverhead + stream
+	l.Obs.record(n, t)
+	return t
 }
 
 func (l Link) tlpCount(n int) int {

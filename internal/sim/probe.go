@@ -1,0 +1,33 @@
+package sim
+
+// Probe observes kernel activity: one callback per schedule, fire, and
+// cancel. It is the engine half of the observability plane — internal/obs
+// supplies implementations that count events and feed trace export, but the
+// kernel only sees this interface, so the dependency points outward.
+//
+// Probes must be passive: a callback must not schedule, cancel, or run
+// events, and must not read the wall clock. The engine invokes callbacks
+// synchronously on its own goroutine, in deterministic event order, so a
+// well-behaved probe observes the identical sequence on every run with the
+// same seed.
+type Probe interface {
+	// OnSchedule fires after an event is enqueued for instant when.
+	OnSchedule(when Time)
+	// OnFire fires immediately before the event's function runs, with the
+	// clock already advanced to the event's timestamp.
+	OnFire(when Time)
+	// OnCancel fires after a live event is successfully cancelled.
+	OnCancel(when Time)
+}
+
+// SetProbe attaches (or, with nil, detaches) a probe. Like the watchdog,
+// the hot path pays a single predictable branch when no probe is attached,
+// preserving the kernel's 0 allocs/op scheduling path.
+//
+// Callers holding a concrete probe type must take care not to pass a typed
+// nil (a nil *T in a Probe interface is non-nil and would be invoked);
+// check the concrete pointer before calling.
+func (e *Engine) SetProbe(p Probe) {
+	e.probe = p
+	e.probeOn = p != nil
+}

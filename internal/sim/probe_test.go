@@ -1,0 +1,112 @@
+package sim
+
+import "testing"
+
+// countingProbe tallies callbacks and remembers the last fire instant.
+type countingProbe struct {
+	scheduled, fired, cancelled int
+	lastFire                    Time
+}
+
+func (p *countingProbe) OnSchedule(Time)  { p.scheduled++ }
+func (p *countingProbe) OnFire(when Time) { p.fired++; p.lastFire = when }
+func (p *countingProbe) OnCancel(Time)    { p.cancelled++ }
+
+func TestProbeCounts(t *testing.T) {
+	e := NewEngine()
+	p := &countingProbe{}
+	e.SetProbe(p)
+
+	var ran int
+	id := e.Schedule(5*Nanosecond, func() { ran++ })
+	e.Schedule(2*Nanosecond, func() { ran++ })
+	e.Schedule(9*Nanosecond, func() { ran++ })
+	if !e.Cancel(id) {
+		t.Fatal("cancel of live event failed")
+	}
+	// Cancelling twice must not re-count.
+	if e.Cancel(id) {
+		t.Fatal("double cancel succeeded")
+	}
+	e.Run()
+
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+	if p.scheduled != 3 || p.fired != 2 || p.cancelled != 1 {
+		t.Fatalf("probe saw schedule=%d fire=%d cancel=%d, want 3/2/1",
+			p.scheduled, p.fired, p.cancelled)
+	}
+	if p.lastFire != 9*Nanosecond {
+		t.Fatalf("last fire at %v, want 9ns", p.lastFire)
+	}
+}
+
+// Detaching the probe must stop callbacks without disturbing execution.
+func TestProbeDetach(t *testing.T) {
+	e := NewEngine()
+	p := &countingProbe{}
+	e.SetProbe(p)
+	e.Schedule(Nanosecond, func() {})
+	e.SetProbe(nil)
+	e.Schedule(2*Nanosecond, func() {})
+	e.Run()
+	if p.scheduled != 1 || p.fired != 0 {
+		t.Fatalf("detached probe saw schedule=%d fire=%d, want 1/0", p.scheduled, p.fired)
+	}
+}
+
+// The probe must observe the deterministic event order: same-instant events
+// fire in schedule order, so two runs record identical sequences.
+type orderProbe struct{ fires []Time }
+
+func (p *orderProbe) OnSchedule(Time)  {}
+func (p *orderProbe) OnFire(when Time) { p.fires = append(p.fires, when) }
+func (p *orderProbe) OnCancel(Time)    {}
+
+func TestProbeObservesDeterministicOrder(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine()
+		p := &orderProbe{}
+		e.SetProbe(p)
+		for i := 0; i < 50; i++ {
+			when := Time(i%7) * Nanosecond
+			e.At(when, func() {})
+		}
+		e.Run()
+		return p.fires
+	}
+	a, b := run(), run()
+	if len(a) != 50 {
+		t.Fatalf("observed %d fires, want 50", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fire %d differs across runs: %v vs %v", i, a[i], b[i])
+		}
+		if i > 0 && a[i] < a[i-1] {
+			t.Fatalf("fire order regressed at %d: %v after %v", i, a[i], a[i-1])
+		}
+	}
+}
+
+// With a probe compiled in but detached, scheduling must stay allocation
+// free — the same guarantee TestEngineScheduleAllocs pins for the bare
+// engine.
+func TestProbeDisabledAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Time(i)*Nanosecond, fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 64; i++ {
+			e.Schedule(Time(i)*Nanosecond, fn)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("engine with detached probe allocates %v per run, want 0", allocs)
+	}
+}

@@ -130,6 +130,11 @@ type Engine struct {
 	wdSameTime  uint64
 	wdLastNow   Time
 	wdStart     time.Time
+
+	// Probe state (see probe.go). probeOn keeps the hot path to a single
+	// branch when no probe is attached, exactly like wdOn.
+	probe   Probe
+	probeOn bool
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -177,6 +182,9 @@ func (e *Engine) At(when Time, fn func()) EventID {
 	e.live++
 	e.heap = append(e.heap, slot)
 	e.up(len(e.heap) - 1)
+	if e.probeOn {
+		e.probe.OnSchedule(when)
+	}
 	return makeID(slot, ev.gen)
 }
 
@@ -195,6 +203,9 @@ func (e *Engine) Cancel(id EventID) bool {
 	ev.dead = true
 	ev.fn = nil
 	e.live--
+	if e.probeOn {
+		e.probe.OnCancel(e.now)
+	}
 	return true
 }
 
@@ -229,6 +240,9 @@ func (e *Engine) step() bool {
 		// Release before firing: fn may schedule into the freed slot, and
 		// the generation bump keeps the old ID from reaching the newcomer.
 		e.release(slot)
+		if e.probeOn {
+			e.probe.OnFire(e.now)
+		}
 		fn()
 		return true
 	}

@@ -22,6 +22,7 @@ import (
 	"netdimm/internal/fault"
 	"netdimm/internal/memctrl"
 	"netdimm/internal/nic"
+	"netdimm/internal/obs"
 	"netdimm/internal/pcie"
 	"netdimm/internal/sim"
 )
@@ -30,6 +31,10 @@ import (
 // fault.Spec so the root Config, this package and the fault plane share one
 // underlying type and Spec↔Config struct conversion stays direct.
 type FaultSpec = fault.Spec
+
+// ObsSpec is the observability block of a specification; it aliases
+// obs.Spec for the same direct-conversion reason as FaultSpec.
+type ObsSpec = obs.Spec
 
 // Spec is the full simulated-system specification. Its fields mirror the
 // root netdimm.Config exactly (same names, types and order), so the two
@@ -60,6 +65,10 @@ type Spec struct {
 	// disables every fault and leaves all experiments bit-identical to a
 	// fault-free run.
 	Fault FaultSpec
+	// Obs selects observability collection (span tracing, metrics); the
+	// zero value disables instrumentation entirely and keeps every hot
+	// path allocation-free.
+	Obs ObsSpec
 }
 
 // TableOne returns the paper's Table 1 specification.

@@ -114,6 +114,19 @@ func (h *Histogram) Observe(v sim.Time) {
 	h.sorted = false
 }
 
+// Merge folds every sample of o into h (o is unchanged). Percentiles over
+// the merged histogram equal percentiles over the union of the two sample
+// sets — the property sweep runners rely on when aggregating per-cell
+// histograms.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	h.samples = append(h.samples, o.samples...)
+	h.sum += o.sum
+	h.sorted = false
+}
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int { return len(h.samples) }
 

@@ -84,6 +84,55 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
+// Property: merging sharded histograms is equivalent to observing every
+// sample in one histogram — same count, sum, and every percentile.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	f := func(raw []uint16, cut1, cut2 uint8) bool {
+		whole := &Histogram{}
+		shards := [3]*Histogram{{}, {}, {}}
+		for i, v := range raw {
+			whole.Observe(sim.Time(v))
+			shards[(i+int(cut1)+int(cut2))%3].Observe(sim.Time(v))
+		}
+		merged := &Histogram{}
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		if merged.Count() != whole.Count() || merged.Mean() != whole.Mean() {
+			return false
+		}
+		for _, p := range []float64{0, 25, 50, 90, 99, 100} {
+			if merged.Percentile(p) != whole.Percentile(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(10)
+	h.Merge(nil) // nil source is a no-op
+	var empty Histogram
+	h.Merge(&empty) // empty source is a no-op
+	if h.Count() != 1 || h.Mean() != 10 {
+		t.Fatalf("merge of nil/empty changed histogram: count=%d mean=%v", h.Count(), h.Mean())
+	}
+	// Merging after a percentile query (sorted state) must re-sort.
+	o := &Histogram{}
+	o.Observe(1)
+	_ = h.Percentile(50)
+	h.Merge(o)
+	if h.Percentile(0) != 1 || h.Percentile(100) != 10 || h.Count() != 2 {
+		t.Fatalf("merge after sort: min=%v max=%v count=%d",
+			h.Percentile(0), h.Percentile(100), h.Count())
+	}
+}
+
 // Property: percentiles are monotone in p and bounded by min/max.
 func TestPercentileMonotoneProperty(t *testing.T) {
 	f := func(raw []uint16, a, b uint8) bool {
