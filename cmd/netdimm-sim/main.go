@@ -31,6 +31,9 @@ var (
 	parallel  = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = all cores, 1 = sequential, N = at most N")
 	scenario  = flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
 	lossRates = flag.String("loss", "", "comma-separated frame-loss rates for faultsweep (default 0,0.001,0.01,0.05,0.1,0.2)")
+	loadRates = flag.String("rate", "", "comma-separated offered loads (fractions of line rate) for loadsweep (default a grid bracketing each knee)")
+	hosts     = flag.Int("hosts", 0, "sender hosts fanning in to one receiver for loadsweep (0 = scenario value or 8)")
+	cluster   = flag.String("cluster", "", "traffic distribution for loadsweep: database, webserver or hadoop (default scenario value or database)")
 	traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (fig11, faultsweep, mixed); open in ui.perfetto.dev")
 	metrics   = flag.Bool("metrics", false, "collect and print the metrics registry after the experiment output (fig11, faultsweep, mixed)")
 )
@@ -112,6 +115,7 @@ var commands = []command{
 	{"mixed", "DDR + NetDIMM coexistence on one channel (NVDIMM-P async, Sec. 2.2)", false, runMixed},
 	{"replay", "replay a netdimm-trace file under all three architectures", false, runReplayArg},
 	{"faultsweep", "one-way latency vs injected frame loss, with retransmit recovery", false, runFaultSweep},
+	{"loadsweep", "rack-scale incast: latency vs offered load, with saturation knees", false, runLoadSweep},
 	{"headline", "the abstract's summary numbers", true, runHeadline},
 	{"bench", "machine-readable benchmark report (JSON; see -benchn)", false, func(netdimm.Config) error { return runBench() }},
 }
@@ -475,6 +479,70 @@ func runFaultSweep(cfg netdimm.Config) error {
 	for _, r := range rows {
 		fmt.Printf("%-8s  %8g  %10v  %10v  %10v  %9d  %6d  %7d\n",
 			r.Arch, r.LossRate, r.Mean, r.P50, r.P99, r.Delivered, r.Failed, r.Counters.Retransmits)
+	}
+	return nil
+}
+
+// parseLoadRates parses the -rate flag; an empty flag selects the
+// experiment's default grid.
+func parseLoadRates(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var rates []float64
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadsweep: bad offered load %q: %v", part, err)
+		}
+		rates = append(rates, r)
+	}
+	return rates, nil
+}
+
+func runLoadSweep(cfg netdimm.Config) error {
+	rates, err := parseLoadRates(*loadRates)
+	if err != nil {
+		return err
+	}
+	if *hosts != 0 {
+		cfg.Load.Hosts = *hosts
+	}
+	if *cluster != "" {
+		cfg.Load.Cluster = *cluster
+	}
+	rows, knees, ob, err := netdimm.RunLoadSweepObserved(obsConfig(cfg), rates, *packets, *seed, *parallel)
+	if err != nil {
+		return err
+	}
+	defer emitObservation(ob)
+	if *asCSV {
+		csvOut("arch", "offered_load", "mean_ns", "p50_ns", "p99_ns", "p999_ns",
+			"delivered", "dropped", "egress_max_depth", "egress_queue_delay_ns", "rx_max_depth", "link_util")
+		for _, r := range rows {
+			csvOut(r.Arch, fmt.Sprintf("%g", r.OfferedLoad),
+				fmt.Sprint(r.Mean.Nanoseconds()), fmt.Sprint(r.P50.Nanoseconds()),
+				fmt.Sprint(r.P99.Nanoseconds()), fmt.Sprint(r.P999.Nanoseconds()),
+				fmt.Sprint(r.Delivered), fmt.Sprint(r.Dropped),
+				fmt.Sprint(r.EgressMaxDepth), fmt.Sprint(r.EgressQueueDelay.Nanoseconds()),
+				fmt.Sprint(r.RxMaxDepth), fmt.Sprintf("%.4f", r.LinkUtilization))
+		}
+		return nil
+	}
+	fmt.Println("Load sweep — rack-scale incast: end-to-end latency vs offered load")
+	fmt.Printf("%-8s  %7s  %10s  %10s  %10s  %10s  %9s  %7s  %8s\n",
+		"arch", "load", "mean", "p50", "p99", "p99.9", "delivered", "dropped", "rx depth")
+	for _, r := range rows {
+		fmt.Printf("%-8s  %7g  %10v  %10v  %10v  %10v  %9d  %7d  %8d\n",
+			r.Arch, r.OfferedLoad, r.Mean, r.P50, r.P99, r.P999, r.Delivered, r.Dropped, r.RxMaxDepth)
+	}
+	fmt.Println("\nSaturation knees (highest load with p99 within the knee factor of baseline)")
+	for _, k := range knees {
+		state := "saturates beyond"
+		if !k.Saturated {
+			state = "unsaturated through"
+		}
+		fmt.Printf("  %-8s %s %g of line rate\n", k.Arch, state, k.Knee)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"netdimm/internal/fault"
 	"netdimm/internal/obs"
 	"netdimm/internal/spec"
+	"netdimm/internal/workload"
 )
 
 // FaultConfig configures deterministic fault injection (packet loss,
@@ -22,6 +23,15 @@ type FaultConfig = fault.Spec
 // converts to the derivation form directly; the zero value disables all
 // instrumentation and changes no experiment output.
 type ObsConfig = obs.Spec
+
+// LoadConfig shapes the rack-scale load sweep's traffic: how many sender
+// hosts fan in to the one receiver (the incast knob), which cluster
+// distribution and arrival process generate packets, the egress buffer
+// depth and the saturation-knee factor. It aliases the internal
+// workload.LoadSpec so Config converts to the derivation form directly;
+// the zero value selects the sweep defaults and affects no other
+// experiment's output.
+type LoadConfig = workload.LoadSpec
 
 // Config is the simulated system configuration — the paper's Table 1. It is
 // the single authoritative system specification: every machine constructor
@@ -56,6 +66,9 @@ type Config struct {
 	// Obs enables observability collection; see ObsConfig. Leave zero for
 	// uninstrumented runs (the default for every pinned golden output).
 	Obs ObsConfig
+	// Load shapes the rack-scale load sweep (the `loadsweep` experiment);
+	// see LoadConfig. Leave zero for the sweep defaults.
+	Load LoadConfig
 }
 
 // DefaultConfig returns Table 1 of the paper.
@@ -118,5 +131,21 @@ func (c Config) Table() string {
 	if c.Fault.Enabled() {
 		row("Fault injection", c.Fault.String())
 	}
+	if c.Load != (LoadConfig{}) {
+		hosts := c.Load.Hosts
+		if hosts == 0 {
+			hosts = 8
+		}
+		row("Load sweep", fmt.Sprintf("%d hosts incast, %s/%s traffic",
+			hosts, orDefault(c.Load.Cluster, "database"), orDefault(c.Load.Process, "poisson")))
+	}
 	return sb.String()
+}
+
+// orDefault substitutes def for an empty string.
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }

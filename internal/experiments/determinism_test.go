@@ -54,6 +54,12 @@ func TestParallelMatchesSequential(t *testing.T) {
 			gen := workload.NewGenerator(workload.Hadoop, 0, 5)
 			return ReplayTrace(spec.TableOne(), gen.Generate(150), 100*sim.Nanosecond, 9, p)
 		}},
+		{"LoadSweep", func(p int) (any, error) {
+			cfg := DefaultLoadSweepConfig()
+			cfg.Packets = 120
+			rows, knees, err := LoadSweep(spec.TableOne(), []float64{0.05, 0.14, 0.2}, cfg, p)
+			return []any{rows, knees}, err
+		}},
 		{"FaultSweep", func(p int) (any, error) {
 			sp := spec.TableOne()
 			sp.Fault.CorruptProb = 0.002

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
+	"netdimm/internal/fault"
 	"netdimm/internal/sim"
 	"netdimm/internal/spec"
 	"netdimm/internal/trace"
@@ -38,6 +40,23 @@ func TestReplayTrace(t *testing.T) {
 func TestReplayEmptyTrace(t *testing.T) {
 	if _, err := ReplayTrace(spec.TableOne(), nil, 100*sim.Nanosecond, 1, 0); err == nil {
 		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestReplayTraceFileBadStream(t *testing.T) {
+	r := bytes.NewReader([]byte("this is not a trace stream"))
+	if _, _, err := ReplayTraceFile(spec.TableOne(), r, 100*sim.Nanosecond, 1, 0); err == nil {
+		t.Fatal("malformed stream accepted")
+	}
+}
+
+func TestFaultEndpointsUnknownArch(t *testing.T) {
+	d := spec.TableOne().MustDerive()
+	eng := sim.NewEngine()
+	inj := fault.NewInjector(fault.Spec{}, 1)
+	if _, _, _, err := faultEndpoints(d, "quantum", fault.Spec{}, eng, inj, 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown architecture") {
+		t.Fatalf("err = %v", err)
 	}
 }
 

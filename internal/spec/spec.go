@@ -25,6 +25,7 @@ import (
 	"netdimm/internal/obs"
 	"netdimm/internal/pcie"
 	"netdimm/internal/sim"
+	"netdimm/internal/workload"
 )
 
 // FaultSpec is the fault-injection block of a specification. It aliases
@@ -35,6 +36,10 @@ type FaultSpec = fault.Spec
 // ObsSpec is the observability block of a specification; it aliases
 // obs.Spec for the same direct-conversion reason as FaultSpec.
 type ObsSpec = obs.Spec
+
+// LoadSpec is the load-generation block of a specification; it aliases
+// workload.LoadSpec for the same direct-conversion reason as FaultSpec.
+type LoadSpec = workload.LoadSpec
 
 // Spec is the full simulated-system specification. Its fields mirror the
 // root netdimm.Config exactly (same names, types and order), so the two
@@ -69,6 +74,10 @@ type Spec struct {
 	// zero value disables instrumentation entirely and keeps every hot
 	// path allocation-free.
 	Obs ObsSpec
+	// Load shapes the rack-scale load sweep's traffic (incast fan-in,
+	// cluster distribution, arrival process, port buffering); the zero
+	// value selects the sweep defaults and affects no other experiment.
+	Load LoadSpec
 }
 
 // TableOne returns the paper's Table 1 specification.
@@ -144,6 +153,9 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("spec: PCIe: %w", err)
 	}
 	if err := s.Fault.Validate(); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if err := s.Load.Validate(); err != nil {
 		return fmt.Errorf("spec: %w", err)
 	}
 	return nil

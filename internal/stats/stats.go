@@ -6,6 +6,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -69,7 +70,9 @@ func (b Breakdown) Plus(o Breakdown) Breakdown {
 	return out
 }
 
-// Scale returns the breakdown divided by n (for averaging).
+// Scale returns the breakdown divided by n (for averaging). Each component
+// divides independently with truncation, so Scale(n).Total() can undershoot
+// Total()/n by up to one unit per nonzero component.
 func (b Breakdown) Scale(n int64) Breakdown {
 	out := Breakdown{}
 	if n == 0 {
@@ -84,19 +87,20 @@ func (b Breakdown) Scale(n int64) Breakdown {
 // String renders the breakdown compactly in presentation order.
 func (b Breakdown) String() string {
 	var sb strings.Builder
-	first := true
 	for _, c := range Components {
 		v, ok := b[c]
 		if !ok || v == 0 {
 			continue
 		}
-		if !first {
+		if sb.Len() > 0 {
 			sb.WriteString(" ")
 		}
 		fmt.Fprintf(&sb, "%s=%v", c, v)
-		first = false
 	}
-	fmt.Fprintf(&sb, " total=%v", b.Total())
+	if sb.Len() > 0 {
+		sb.WriteString(" ")
+	}
+	fmt.Fprintf(&sb, "total=%v", b.Total())
 	return sb.String()
 }
 
@@ -139,9 +143,12 @@ func (h *Histogram) Mean() sim.Time {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) by
-// nearest-rank, or 0 when empty.
+// nearest-rank, or 0 when empty. Out-of-range p clamps to the extremes
+// (p <= 0 returns the minimum, p >= 100 the maximum, -Inf/+Inf included);
+// NaN p returns 0 rather than leaving the rank to the platform-defined
+// float-to-int conversion.
 func (h *Histogram) Percentile(p float64) sim.Time {
-	if len(h.samples) == 0 {
+	if len(h.samples) == 0 || math.IsNaN(p) {
 		return 0
 	}
 	if !h.sorted {
@@ -188,15 +195,23 @@ type Table struct {
 // AddRow appends a row of cells.
 func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
 
-// String renders the table with aligned columns.
+// String renders the table with aligned columns. Ragged rows are fine:
+// widths cover the widest row, and rows shorter or longer than the header
+// render without padding surprises.
 func (t *Table) String() string {
-	widths := make([]int, len(t.Header))
+	cols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.Rows {
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

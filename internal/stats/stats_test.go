@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -167,6 +168,64 @@ func TestReduction(t *testing.T) {
 	}
 }
 
+func TestBreakdownStringEmpty(t *testing.T) {
+	// Regression: an all-zero breakdown used to render with a leading
+	// space (" total=0") because the total was appended unconditionally
+	// with its separator.
+	for name, b := range map[string]Breakdown{
+		"empty":      {},
+		"nil":        nil,
+		"zero-comps": {Wire: 0, TxCopy: 0},
+	} {
+		if got := b.String(); got != "total=0ps" {
+			t.Errorf("%s breakdown String = %q, want %q", name, got, "total=0ps")
+		}
+	}
+	// Non-empty stays exactly as before the fix.
+	b := Breakdown{TxCopy: 40, Wire: 300}
+	if got, want := b.String(), "txCopy=40ps wire=300ps total=340ps"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: NaN never reaches the float-to-int rank conversion (whose
+// result is platform-defined); infinities clamp like out-of-range p.
+func TestPercentileNonFinite(t *testing.T) {
+	h := &Histogram{}
+	if h.Percentile(math.NaN()) != 0 {
+		t.Error("empty histogram, NaN p: want 0")
+	}
+	f := func(raw []uint16) bool {
+		h := &Histogram{}
+		for _, v := range raw {
+			h.Observe(sim.Time(v))
+		}
+		if h.Percentile(math.NaN()) != 0 {
+			return false
+		}
+		return h.Percentile(math.Inf(-1)) == h.Min() && h.Percentile(math.Inf(1)) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Scale truncates per component, so the scaled total undershoots
+// the exact quotient by at most one unit per nonzero component (and never
+// overshoots).
+func TestScaleTruncationBound(t *testing.T) {
+	f := func(txCopy, wire, rxDMA uint16, nRaw uint8) bool {
+		n := int64(nRaw%30) + 1
+		b := Breakdown{TxCopy: sim.Time(txCopy), Wire: sim.Time(wire), RxDMA: sim.Time(rxDMA)}
+		got := b.Scale(n).Total()
+		exact := b.Total() / sim.Time(n)
+		return got <= exact && exact-got <= sim.Time(len(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := &Table{Header: []string{"size", "latency"}}
 	tb.AddRow("64", "1.13us")
@@ -178,5 +237,34 @@ func TestTableRendering(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "size") || !strings.Contains(lines[1], "---") {
 		t.Fatalf("table header wrong:\n%s", s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	// Regression: a row wider than the header used to panic String() with
+	// an index out of range, because column widths were sized to the
+	// header only.
+	tb := &Table{Header: []string{"arch", "p99"}}
+	tb.AddRow("dNIC", "9.1us", "saturated") // wider than header
+	tb.AddRow("iNIC")                       // narrower than header
+	tb.AddRow("NetDIMM", "2.6us")
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[2], "saturated") {
+		t.Errorf("wide row lost its extra cell:\n%s", s)
+	}
+	// The extra column must be padded like any other so the table stays
+	// rectangular in the separator line.
+	if got, want := len(lines[1]), len("NetDIMM")+2+len("9.1us")+2+len("saturated"); got != want {
+		t.Errorf("separator width %d, want %d:\n%s", got, want, s)
+	}
+	// A headerless table with rows must still render.
+	empty := &Table{}
+	empty.AddRow("a", "bb")
+	if out := empty.String(); !strings.Contains(out, "bb") {
+		t.Errorf("headerless table String = %q", out)
 	}
 }
