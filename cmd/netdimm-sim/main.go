@@ -33,6 +33,7 @@ var (
 	lossRates = flag.String("loss", "", "comma-separated frame-loss rates for faultsweep (default 0,0.001,0.01,0.05,0.1,0.2)")
 	loadRates = flag.String("rate", "", "comma-separated offered loads (fractions of line rate) for loadsweep (default a grid bracketing each knee)")
 	hosts     = flag.Int("hosts", 0, "sender hosts fanning in to one receiver for loadsweep (0 = scenario value or 8)")
+	shards    = flag.Int("shards", 0, "engine shards per loadsweep cell: hosts spread over shards, results identical at any count (0 = scenario value or single-engine)")
 	cluster   = flag.String("cluster", "", "traffic distribution for loadsweep: database, webserver or hadoop (default scenario value or database)")
 	traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (fig11, faultsweep, mixed); open in ui.perfetto.dev")
 	metrics   = flag.Bool("metrics", false, "collect and print the metrics registry after the experiment output (fig11, faultsweep, mixed)")
@@ -510,6 +511,9 @@ func runLoadSweep(cfg netdimm.Config) error {
 	}
 	if *cluster != "" {
 		cfg.Load.Cluster = *cluster
+	}
+	if *shards != 0 {
+		cfg.Load.Shards = *shards
 	}
 	rows, knees, ob, err := netdimm.RunLoadSweepObserved(obsConfig(cfg), rates, *packets, *seed, *parallel)
 	if err != nil {

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"netdimm/internal/netfunc"
+	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 	"netdimm/internal/spec"
 	"netdimm/internal/workload"
@@ -104,5 +106,47 @@ func TestHeadlineParallelMatchesSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Errorf("headline parallel(8) diverged:\nseq: %+v\npar: %+v", seq, par)
+	}
+}
+
+// TestLoadSweepShardedDeterminism is the sharded-engine contract at the
+// experiment level: the identical model partitioned across 1, 2 or 4
+// conservative shards must produce byte-identical output — rows, knees,
+// the rendered metrics table and the Chrome trace export. shards=1 is the
+// reference because it runs the full window/merge machinery with every
+// component on one shard.
+func TestLoadSweepShardedDeterminism(t *testing.T) {
+	run := func(shards int) ([]LoadRow, []LoadKnee, string, string) {
+		t.Helper()
+		sp := spec.TableOne()
+		sp.Load.Shards = shards
+		cfg := DefaultLoadSweepConfig()
+		cfg.Packets = 120
+		rows, knees, o, err := LoadSweepObserved(sp, []float64{0.05, 0.14, 0.2}, cfg, 2,
+			obs.Spec{Metrics: true, Trace: true})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		var tr strings.Builder
+		if err := o.WriteTrace(&tr); err != nil {
+			t.Fatalf("shards=%d trace: %v", shards, err)
+		}
+		return rows, knees, o.MetricsCSV(), tr.String()
+	}
+	rows1, knees1, csv1, trace1 := run(1)
+	for _, shards := range []int{2, 4} {
+		rows, knees, csv, trace := run(shards)
+		if !reflect.DeepEqual(rows, rows1) {
+			t.Errorf("shards=%d rows diverged from shards=1", shards)
+		}
+		if !reflect.DeepEqual(knees, knees1) {
+			t.Errorf("shards=%d knees diverged from shards=1", shards)
+		}
+		if csv != csv1 {
+			t.Errorf("shards=%d metrics CSV diverged from shards=1", shards)
+		}
+		if trace != trace1 {
+			t.Errorf("shards=%d trace bytes diverged from shards=1", shards)
+		}
 	}
 }

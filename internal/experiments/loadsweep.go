@@ -73,6 +73,7 @@ type loadShape struct {
 	process    workload.ArrivalProcess
 	portBuffer int
 	kneeFactor float64
+	shards     int
 }
 
 // resolveLoad applies the sweep defaults to a validated Load block.
@@ -83,7 +84,7 @@ func resolveLoad(l workload.LoadSpec) (loadShape, error) {
 	cl, _ := workload.ParseCluster(l.Cluster)
 	proc, _ := workload.ParseProcess(l.Process)
 	sh := loadShape{hosts: l.Hosts, cluster: cl, process: proc,
-		portBuffer: l.PortBuffer, kneeFactor: l.KneeFactor}
+		portBuffer: l.PortBuffer, kneeFactor: l.KneeFactor, shards: l.Shards}
 	if sh.hosts == 0 {
 		sh.hosts = 8
 	}
@@ -300,9 +301,14 @@ func (s *serialServer) serveNext() {
 }
 
 // loadCell runs one (arch, load) cell: shape.hosts open-loop senders into
-// one receiver.
+// one receiver. A positive Shards knob routes it through the sharded
+// engine when the specification offers a lookahead (a zero switch latency
+// leaves no safe window, so the single-engine path is forced).
 func loadCell(sp spec.Spec, arch string, load float64, shape loadShape, cfg LoadSweepConfig, oc *obs.Cell) (LoadRow, error) {
 	d := sp.MustDerive()
+	if shape.shards > 0 && d.ShardLookahead() > 0 {
+		return loadCellSharded(d, arch, load, shape, cfg, oc)
+	}
 	eng := sim.NewEngine()
 	eng.SetWatchdog(sim.Watchdog{MaxEvents: cfg.EventBudget})
 	link := d.Link
@@ -394,6 +400,170 @@ func loadCell(sp spec.Spec, arch string, load float64, shape loadShape, cfg Load
 	util := 0.0
 	if eng.Now() > 0 {
 		util = float64(wireBusy) / float64(eng.Now())
+	}
+	deliveredC.Add(int64(delivered))
+	droppedC.Add(int64(dropped))
+	reg.Gauge(arch + ".link_util_pct").Set(int64(math.Round(util * 100)))
+	reg.Gauge(arch + ".egress_max_depth").Set(int64(egStats.MaxDepth))
+	reg.Gauge(arch + ".rx_max_depth").Set(int64(recv.maxDepth))
+
+	return LoadRow{
+		Arch:             arch,
+		Load:             load,
+		Mean:             hist.Mean(),
+		P50:              hist.Percentile(50),
+		P99:              hist.Percentile(99),
+		P999:             hist.Percentile(99.9),
+		Delivered:        delivered,
+		Dropped:          dropped,
+		EgressMaxDepth:   egStats.MaxDepth,
+		EgressQueueDelay: egStats.AvgQueueDelay(),
+		RxMaxDepth:       recv.maxDepth,
+		LinkUtilization:  util,
+		Hist:             &hist,
+	}, nil
+}
+
+// loadCellSharded is loadCell on a conservatively sharded engine: the
+// switch egress port and the receiver driver live on shard 0, sender host
+// h (its generator, TX driver and uplink port) on shard 1+h%(shards-1),
+// and the only cross-shard crossing is the switch hop — whose port-to-port
+// latency is therefore the group lookahead (spec.Derived.ShardLookahead).
+//
+// The partition is a pure function of the host index and channels are
+// created in host order, so shards=1 and shards=N run the identical window
+// schedule and deliver cross-shard events in the identical (when, channel,
+// seq) order: results are byte-identical at every shard count. (They are
+// NOT byte-identical to the Shards=0 single-engine path, which samples the
+// egress depth on the near side of the switch hop; pinned goldens run
+// Shards=0.)
+func loadCellSharded(d *spec.Derived, arch string, load float64, shape loadShape, cfg LoadSweepConfig, oc *obs.Cell) (LoadRow, error) {
+	lookahead := d.ShardLookahead()
+	shards := shape.shards
+	if shards > shape.hosts+1 {
+		shards = shape.hosts + 1 // more shards than components would sit idle
+	}
+	g := sim.NewShardGroup(shards, lookahead)
+	g.SetWatchdog(sim.Watchdog{MaxEvents: cfg.EventBudget})
+	link := d.Link
+
+	txs, rx, err := loadEndpoints(d, arch, shape.hosts, cfg.Seed)
+	if err != nil {
+		return LoadRow{}, err
+	}
+
+	perHostGap, err := shape.cluster.MeanGapForLoad(load, shape.hosts, link.BitsPerSec/1e9)
+	if err != nil {
+		return LoadRow{}, err
+	}
+
+	hostShard := func(h int) int {
+		if shards == 1 {
+			return 0
+		}
+		return 1 + h%(shards-1)
+	}
+
+	// The receiver side, all on shard 0. Metric names match the
+	// single-engine cell so observations are comparable across the knob.
+	reg := oc.Metrics()
+	rxEng := g.Engine(0)
+	recv := &serialServer{eng: rxEng}
+	if s := reg.Series(arch + ".rx_queue_depth"); s != nil {
+		recv.onDepth = func(at sim.Time, depth int) { s.Sample(at, int64(depth)) }
+	}
+	egressSeries := reg.Series(arch + ".egress_depth")
+	deliveredC := reg.Counter(arch + ".delivered")
+	droppedC := reg.Counter(arch + ".dropped")
+	// Registry counters are not safe for concurrent writers, so each shard
+	// carries a private probe; the merge after the run lands the same
+	// totals under the same metric names as the single-engine cell.
+	ep := obs.NewEngineProbe(reg, arch+".engine")
+	var probes []*obs.ShardProbe
+	if ep != nil {
+		probes = make([]*obs.ShardProbe, shards)
+		for i := range probes {
+			probes[i] = &obs.ShardProbe{}
+			probes[i].Attach(g.Engine(i))
+		}
+	}
+	egress := ethernet.NewPort(rxEng, link, shape.portBuffer)
+
+	var hist stats.Histogram
+	delivered := 0
+	var wireBusy sim.Time
+	// Uplink tail-drops happen on the host shards; per-host tallies keep
+	// the counting race-free and are summed after the run.
+	hostDrops := make([]int, shape.hosts)
+
+	for h := 0; h < shape.hosts; h++ {
+		count := cfg.Packets / shape.hosts
+		if h < cfg.Packets%shape.hosts {
+			count++
+		}
+		if count == 0 {
+			continue
+		}
+		eng := g.Engine(hostShard(h))
+		ch := g.NewChannel(hostShard(h), 0)
+		// Per-host seeds are independent of the offered load, so the
+		// packet sequence is identical along the load axis.
+		gen := workload.NewOpenLoop(shape.cluster, shape.process, perHostGap,
+			cfg.Seed+uint64(h)*0x9e3779b97f4a7c15)
+		txSrv := &serialServer{eng: eng}
+		uplink := ethernet.NewPort(eng, link, shape.portBuffer)
+		tx := txs[h]
+		host := uint64(h)
+		drops := &hostDrops[h]
+
+		var arm func(i int)
+		arm = func(i int) {
+			if i >= count {
+				return
+			}
+			e := gen.Next()
+			eng.At(e.At, func() {
+				arm(i + 1)
+				p := e.Packet(host<<32 | uint64(i))
+				born := eng.Now()
+				txSrv.Submit(tx.TX(p).Total(), func() {
+					f := ethernet.Frame{ID: p.ID, Bytes: e.Size}
+					ok := uplink.Send(f, func(fr ethernet.Frame) {
+						// The switch hop is the cross-shard crossing; its
+						// latency is exactly the group lookahead.
+						ch.Send(lookahead, func() {
+							egressSeries.Sample(rxEng.Now(), int64(egress.Depth()))
+							egress.Send(fr, func(ethernet.Frame) {
+								recv.Submit(rx.RX(p).Total(), func() {
+									hist.Observe(rxEng.Now() - born)
+									delivered++
+									wireBusy += link.SerializeTime(e.Size)
+								})
+							})
+						})
+					})
+					if !ok {
+						*drops++
+					}
+				})
+			})
+		}
+		arm(0)
+	}
+
+	if err := g.Run(); err != nil {
+		return LoadRow{}, err
+	}
+	ep.Merge(probes...)
+
+	egStats := egress.Stats()
+	dropped := int(egStats.Dropped)
+	for _, n := range hostDrops {
+		dropped += n
+	}
+	util := 0.0
+	if g.Now() > 0 {
+		util = float64(wireBusy) / float64(g.Now())
 	}
 	deliveredC.Add(int64(delivered))
 	droppedC.Add(int64(dropped))

@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file is the conservative parallel layer over the single-threaded
+// Engine: a ShardGroup partitions one simulation's components across N
+// engine shards, each advanced on its own goroutine, synchronized with
+// bounded lookahead windows (the classic conservative-DES scheme, in its
+// simple barrier-per-window form rather than null messages — every shard
+// runs the same window [T, T+lookahead), where T is the globally earliest
+// pending instant, and cross-shard events are exchanged at the barrier).
+//
+// The safety argument: cross-shard interaction is only allowed through
+// Channels whose delay is at least the group lookahead, so any event sent
+// while executing window [T, T+L) carries a timestamp >= T+L — it cannot
+// affect the window being executed, and shards may run it lock-free in
+// parallel. Undelivered events wait in a per-shard inbox until the window
+// containing their timestamp opens.
+//
+// Determinism contract: shards=1 and shards=N produce byte-identical
+// results. Three properties carry it, independent of the partition:
+//   - inbox injection order is the total order (when, channel id, send
+//     seq) — the fixed tie-break — so same-instant cross-shard events
+//     enter every destination engine in the same relative order;
+//   - window boundaries depend only on the globally earliest pending
+//     instant and the lookahead, both partition-independent, so the
+//     schedule-order (seq) relationship between injected events and
+//     locally scheduled events is reproduced exactly;
+//   - components on one shard interact only through Channels, so events
+//     of unrelated components may interleave differently in global seq
+//     order without any observable effect.
+// Builders must create channels in a fixed order (channel ids are minted
+// in creation order) and assign components to shards as pure functions of
+// component index, never of execution order.
+
+// xevent is one timestamped cross-shard event waiting in a shard inbox.
+type xevent struct {
+	when Time
+	ch   int32  // sending channel id: first tie-break after when
+	seq  uint64 // per-channel send sequence: second tie-break
+	fn   func()
+}
+
+// Channel is a one-way conservative link from a source shard to a
+// destination shard. Sends are buffered on the sending shard and delivered
+// at the next window barrier; each send must respect the group lookahead.
+// A Channel may only be used from callbacks running on its source shard's
+// engine (or before Run starts).
+type Channel struct {
+	g        *ShardGroup
+	id       int32
+	src, dst int
+	seq      uint64
+	buf      []xevent
+}
+
+// Send schedules fn on the destination shard's engine after delay,
+// measured from the source shard's current instant. delay below the group
+// lookahead would break conservative safety and panics.
+func (c *Channel) Send(delay Time, fn func()) {
+	g := c.g
+	if delay < g.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard send with delay %v below the conservative lookahead %v", delay, g.lookahead))
+	}
+	if fn == nil {
+		panic("sim: nil cross-shard event function")
+	}
+	when := satAdd(g.engines[c.src].now, delay)
+	c.buf = append(c.buf, xevent{when: when, ch: c.id, seq: c.seq, fn: fn})
+	c.seq++
+}
+
+// ShardGroup runs N Engines in lockstep lookahead windows. Build model
+// components on the per-shard engines (Engine(i)), connect shards with
+// NewChannel, then call Run once.
+type ShardGroup struct {
+	lookahead Time
+	engines   []*Engine
+	channels  []*Channel
+	inbox     [][]xevent // per destination shard, sorted by (when, ch, seq)
+	wd        Watchdog
+	wdErr     *WatchdogError
+}
+
+// NewShardGroup returns a group of `shards` empty engines synchronized
+// with the given conservative lookahead (the minimum cross-shard link
+// latency of the model being built). The lookahead must be positive: it
+// is the window width, and a zero window cannot advance.
+func NewShardGroup(shards int, lookahead Time) *ShardGroup {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: shard group needs at least one shard, got %d", shards))
+	}
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("sim: shard group needs a positive lookahead, got %v", lookahead))
+	}
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		engines[i] = NewEngine()
+	}
+	return &ShardGroup{
+		lookahead: lookahead,
+		engines:   engines,
+		inbox:     make([][]xevent, shards),
+	}
+}
+
+// Shards returns the number of engine shards.
+func (g *ShardGroup) Shards() int { return len(g.engines) }
+
+// Lookahead returns the group's conservative window width.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Engine returns shard i's engine, for building that shard's components.
+func (g *ShardGroup) Engine(i int) *Engine { return g.engines[i] }
+
+// NewChannel creates a conservative one-way link from shard src to shard
+// dst. src == dst is allowed (and is how a shards=1 group exercises the
+// identical delivery path as a sharded one). Channel ids — the delivery
+// tie-break — are minted in creation order, so builders must create
+// channels in a partition-independent order.
+func (g *ShardGroup) NewChannel(src, dst int) *Channel {
+	if src < 0 || src >= len(g.engines) || dst < 0 || dst >= len(g.engines) {
+		panic(fmt.Sprintf("sim: channel %d->%d outside the %d-shard group", src, dst, len(g.engines)))
+	}
+	c := &Channel{g: g, id: int32(len(g.channels)), src: src, dst: dst}
+	g.channels = append(g.channels, c)
+	return c
+}
+
+// SetWatchdog arms every shard with w and additionally enforces w.MaxEvents
+// as a group-wide budget, checked at each window barrier (the per-shard
+// copy still bounds a runaway shard inside one window, and carries the
+// no-progress and wall-clock checks unchanged).
+func (g *ShardGroup) SetWatchdog(w Watchdog) {
+	g.wd = w
+	g.wdErr = nil
+	for _, e := range g.engines {
+		e.SetWatchdog(w)
+	}
+}
+
+// Fired reports the total events executed across all shards.
+func (g *ShardGroup) Fired() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.Fired()
+	}
+	return n
+}
+
+// Pending reports live events plus cross-shard events not yet delivered.
+func (g *ShardGroup) Pending() int {
+	n := 0
+	for _, e := range g.engines {
+		n += e.Pending()
+	}
+	for _, in := range g.inbox {
+		n += len(in)
+	}
+	for _, c := range g.channels {
+		n += len(c.buf)
+	}
+	return n
+}
+
+// Now returns the instant of the latest fired event across all shards —
+// the group analogue of Engine.Now after a plain Run. It is partition-
+// independent: the same model fires the same final event at any shard
+// count.
+func (g *ShardGroup) Now() Time {
+	var t Time
+	for _, e := range g.engines {
+		if lf := e.LastFired(); lf > t {
+			t = lf
+		}
+	}
+	return t
+}
+
+// Err returns the diagnostic of a tripped watchdog (group budget or any
+// shard's own), or nil.
+func (g *ShardGroup) Err() error {
+	for _, e := range g.engines {
+		if err := e.Err(); err != nil {
+			return err
+		}
+	}
+	if g.wdErr == nil {
+		return nil
+	}
+	return g.wdErr
+}
+
+// Run executes the group to completion: windows advance until every shard
+// drains and no cross-shard event is in flight, or a watchdog trips (the
+// tripped diagnostic is returned and also available from Err). Run may
+// only be called once per group.
+func (g *ShardGroup) Run() error {
+	n := len(g.engines)
+	g.wdErr = nil
+
+	// Persistent per-shard workers; a single-shard group runs inline.
+	var work []chan Time
+	var wg sync.WaitGroup
+	if n > 1 {
+		work = make([]chan Time, n)
+		for i := range work {
+			work[i] = make(chan Time, 1)
+			go func(e *Engine, ch <-chan Time) {
+				for deadline := range ch {
+					e.RunUntil(deadline)
+					wg.Done()
+				}
+			}(g.engines[i], work[i])
+		}
+		defer func() {
+			for _, ch := range work {
+				close(ch)
+			}
+		}()
+	}
+
+	for {
+		// Barrier: find the globally earliest pending instant. Engines are
+		// idle here, so peeking (which reaps dead roots) is safe.
+		T := MaxTime
+		any := false
+		for i, e := range g.engines {
+			if w, ok := e.peekWhen(); ok && (!any || w < T) {
+				T, any = w, true
+			}
+			if in := g.inbox[i]; len(in) > 0 && (!any || in[0].when < T) {
+				T, any = in[0].when, true
+			}
+		}
+		if !any {
+			return nil
+		}
+
+		// Group event budget, checked deterministically at the barrier.
+		if g.wd.MaxEvents > 0 && g.Fired() >= g.wd.MaxEvents {
+			g.wdErr = &WatchdogError{
+				Reason:  fmt.Sprintf("group event budget of %d exhausted", g.wd.MaxEvents),
+				Now:     T,
+				Fired:   g.Fired(),
+				Pending: g.Pending(),
+			}
+			return g.wdErr
+		}
+
+		// Open the window [T, E) and deliver every buffered event inside it.
+		// A saturated E widens the window to include MaxTime itself, so an
+		// event at the last representable instant still fires.
+		E := satAdd(T, g.lookahead)
+		deadline := E - 1
+		if E == MaxTime {
+			deadline = MaxTime
+		}
+		for i := range g.engines {
+			g.inject(i, deadline)
+		}
+
+		// Execute the window on every shard that has work in it. A window
+		// with one busy shard — the common case when the lookahead is small
+		// against the event spacing — runs inline: the goroutine handoff
+		// would buy no parallelism and its cost would dominate the window.
+		busy := -1
+		nbusy := 0
+		for i, e := range g.engines {
+			if w, ok := e.peekWhen(); ok && w <= deadline {
+				busy = i
+				nbusy++
+			}
+		}
+		switch {
+		case nbusy == 0:
+			// All deliverable work was beyond the deadline; nothing fires.
+		case nbusy == 1 || n == 1:
+			g.engines[busy].RunUntil(deadline)
+		default:
+			for i, e := range g.engines {
+				if w, ok := e.peekWhen(); ok && w <= deadline {
+					wg.Add(1)
+					work[i] <- deadline
+				}
+			}
+			wg.Wait()
+		}
+		for _, e := range g.engines {
+			if err := e.Err(); err != nil {
+				return err
+			}
+		}
+
+		// Barrier: collect the window's cross-shard sends and order each
+		// inbox by the fixed (when, channel, seq) tie-break.
+		touched := false
+		for _, c := range g.channels {
+			if len(c.buf) == 0 {
+				continue
+			}
+			g.inbox[c.dst] = append(g.inbox[c.dst], c.buf...)
+			c.buf = c.buf[:0]
+			touched = true
+		}
+		if touched {
+			for i := range g.inbox {
+				sortInbox(g.inbox[i])
+			}
+		}
+	}
+}
+
+// inject schedules every inbox event with when <= deadline onto the
+// shard's engine, in inbox (tie-break) order, and drops them from the
+// inbox.
+func (g *ShardGroup) inject(shard int, deadline Time) {
+	in := g.inbox[shard]
+	k := 0
+	for k < len(in) && in[k].when <= deadline {
+		k++
+	}
+	if k == 0 {
+		return
+	}
+	e := g.engines[shard]
+	for i := range in[:k] {
+		e.At(in[i].when, in[i].fn)
+	}
+	rest := copy(in, in[k:])
+	for i := rest; i < len(in); i++ {
+		in[i] = xevent{} // release the delivered fns
+	}
+	g.inbox[shard] = in[:rest]
+}
+
+// sortInbox orders events by the deterministic delivery key.
+func sortInbox(in []xevent) {
+	sort.Slice(in, func(i, j int) bool {
+		a, b := &in[i], &in[j]
+		if a.when != b.when {
+			return a.when < b.when
+		}
+		if a.ch != b.ch {
+			return a.ch < b.ch
+		}
+		return a.seq < b.seq
+	})
+}
+
+// satAdd adds non-negative b to a, saturating at MaxTime.
+func satAdd(a, b Time) Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return MaxTime
+}

@@ -1,0 +1,229 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// fired is one observed event execution: enough to compare two runs of the
+// same model for byte-identical behaviour.
+type fired struct {
+	when Time
+	tag  string
+}
+
+// buildFanIn constructs the canonical sharded topology on g: `producers`
+// sources fan in to one sink. With more than one shard the sink lives on
+// shard 0 and producer p on shard 1+p%(shards-1); with one shard everything
+// shares shard 0 and the channels are self-loops — exactly the degenerate
+// layout the determinism contract compares against. Each producer emits
+// `per` events spaced by its own stride, each crossing its channel with a
+// delay >= the group lookahead; the sink records every delivery. Several
+// (producer, event) pairs are arranged to collide on the same instant so
+// the (when, channel, seq) tie-break is actually exercised.
+func buildFanIn(g *ShardGroup, producers, per int, log *[]fired) {
+	lk := g.Lookahead()
+	shardOf := func(p int) int {
+		if g.Shards() == 1 {
+			return 0
+		}
+		return 1 + p%(g.Shards()-1)
+	}
+	for p := 0; p < producers; p++ {
+		p := p
+		ch := g.NewChannel(shardOf(p), 0)
+		eng := g.Engine(shardOf(p))
+		stride := Time(p%3) * lk / 2 // strides 0, lk/2, lk force collisions
+		var emit func(i int)
+		emit = func(i int) {
+			if i >= per {
+				return
+			}
+			// Cross-shard hop: land lookahead + stride*i after "now",
+			// deliberately letting different producers hit equal instants.
+			ch.Send(lk+stride, func() {
+				*log = append(*log, fired{when: g.Engine(0).Now(), tag: fmt.Sprintf("p%d/e%d", p, i)})
+			})
+			eng.Schedule(lk, func() { emit(i + 1) })
+		}
+		eng.Schedule(Time(p+1), func() { emit(0) })
+	}
+}
+
+func runFanIn(t *testing.T, shards, producers, per int) []fired {
+	t.Helper()
+	g := NewShardGroup(shards, 100*Nanosecond)
+	var log []fired
+	buildFanIn(g, producers, per, &log)
+	if err := g.Run(); err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return log
+}
+
+// TestShardGroupDeterminism is the core contract: the same model run at
+// shards=1, 2, 4 and 5 produces the identical delivery sequence.
+func TestShardGroupDeterminism(t *testing.T) {
+	want := runFanIn(t, 1, 6, 40)
+	if len(want) != 6*40 {
+		t.Fatalf("reference run delivered %d events, want %d", len(want), 6*40)
+	}
+	for _, shards := range []int{2, 4, 5} {
+		got := runFanIn(t, shards, 6, 40)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shards=%d delivery sequence diverged from shards=1", shards)
+		}
+	}
+}
+
+// TestShardGroupCounters checks the partition-independent aggregates:
+// Fired, Now and a drained Pending.
+func TestShardGroupCounters(t *testing.T) {
+	g1 := NewShardGroup(1, 10*Nanosecond)
+	g4 := NewShardGroup(4, 10*Nanosecond)
+	var l1, l4 []fired
+	buildFanIn(g1, 4, 10, &l1)
+	buildFanIn(g4, 4, 10, &l4)
+	if err := g1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g4.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if g1.Fired() != g4.Fired() {
+		t.Errorf("Fired diverged: shards=1 %d, shards=4 %d", g1.Fired(), g4.Fired())
+	}
+	if g1.Now() != g4.Now() {
+		t.Errorf("Now diverged: shards=1 %v, shards=4 %v", g1.Now(), g4.Now())
+	}
+	if g1.Pending() != 0 || g4.Pending() != 0 {
+		t.Errorf("drained groups report pending %d and %d", g1.Pending(), g4.Pending())
+	}
+	if g1.Err() != nil || g4.Err() != nil {
+		t.Errorf("clean runs report errors %v and %v", g1.Err(), g4.Err())
+	}
+}
+
+// TestShardGroupLookaheadViolation: a cross-shard send below the lookahead
+// would let one shard affect a window another shard is already executing;
+// it must panic rather than silently corrupt causality.
+func TestShardGroupLookaheadViolation(t *testing.T) {
+	g := NewShardGroup(2, 100*Nanosecond)
+	ch := g.NewChannel(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send below lookahead did not panic")
+		}
+	}()
+	ch.Send(99*Nanosecond, func() {})
+}
+
+func TestShardGroupNilEventPanics(t *testing.T) {
+	g := NewShardGroup(2, Nanosecond)
+	ch := g.NewChannel(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil cross-shard event did not panic")
+		}
+	}()
+	ch.Send(Nanosecond, nil)
+}
+
+func TestShardGroupConstructorPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		shards    int
+		lookahead Time
+	}{
+		{"zero shards", 0, Nanosecond},
+		{"zero lookahead", 2, 0},
+		{"negative lookahead", 2, -Nanosecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewShardGroup(%d, %v) did not panic", tc.shards, tc.lookahead)
+				}
+			}()
+			NewShardGroup(tc.shards, tc.lookahead)
+		})
+	}
+}
+
+func TestShardGroupChannelBoundsPanic(t *testing.T) {
+	g := NewShardGroup(2, Nanosecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range channel endpoint did not panic")
+		}
+	}()
+	g.NewChannel(0, 2)
+}
+
+// TestShardGroupWatchdogBudget: the group-wide event budget trips
+// deterministically at a window barrier, and the diagnostic is surfaced
+// both from Run and Err at every shard count.
+func TestShardGroupWatchdogBudget(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		g := NewShardGroup(shards, Nanosecond)
+		// A self-sustaining ping-pong between the first and last shards;
+		// each hop sends on the channel owned by the shard it runs on.
+		fwd := g.NewChannel(0, shards-1)
+		back := g.NewChannel(shards-1, 0)
+		var ping, pong func()
+		ping = func() { fwd.Send(Nanosecond, pong) }
+		pong = func() { back.Send(Nanosecond, ping) }
+		g.Engine(0).Schedule(Nanosecond, ping)
+		g.SetWatchdog(Watchdog{MaxEvents: 100})
+		err := g.Run()
+		if err == nil {
+			t.Fatalf("shards=%d: unbounded model did not trip the group budget", shards)
+		}
+		if g.Err() == nil {
+			t.Fatalf("shards=%d: Err lost the watchdog diagnostic", shards)
+		}
+		var wde *WatchdogError
+		if we, ok := err.(*WatchdogError); ok {
+			wde = we
+		} else {
+			t.Fatalf("shards=%d: Run returned %T, want *WatchdogError", shards, err)
+		}
+		if wde.Fired < 100 {
+			t.Errorf("shards=%d: tripped after only %d events with budget 100", shards, wde.Fired)
+		}
+	}
+}
+
+// TestShardGroupMaxTimeEvent: an event at the last representable instant
+// still fires (the window end saturates instead of overflowing past it).
+func TestShardGroupMaxTimeEvent(t *testing.T) {
+	g := NewShardGroup(2, Nanosecond)
+	ran := false
+	g.Engine(1).At(MaxTime, func() { ran = true })
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event at MaxTime never fired")
+	}
+	if g.Now() != MaxTime {
+		t.Fatalf("Now = %v, want MaxTime", g.Now())
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	for _, tc := range []struct {
+		a, b, want Time
+	}{
+		{0, 0, 0},
+		{1, 2, 3},
+		{MaxTime, 1, MaxTime},
+		{MaxTime - 1, 1, MaxTime},
+		{MaxTime, MaxTime, MaxTime},
+	} {
+		if got := satAdd(tc.a, tc.b); got != tc.want {
+			t.Errorf("satAdd(%d, %d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -48,11 +48,16 @@ func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) 
 // Seconds returns t as a float64 second count.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// String renders the time with an adaptive unit, e.g. "1.234us".
+// String renders the time with an adaptive unit, e.g. "1.234us". A negative
+// time renders with the same adaptive unit and a leading sign.
 func (t Time) String() string {
 	switch {
-	case t < 0:
+	case t == math.MinInt64:
+		// -t would overflow; the only value that cannot reuse the
+		// positive path renders in raw picoseconds.
 		return fmt.Sprintf("%dps", int64(t))
+	case t < 0:
+		return "-" + (-t).String()
 	case t < Nanosecond:
 		return fmt.Sprintf("%dps", int64(t))
 	case t < Microsecond:
@@ -112,14 +117,15 @@ func makeID(slot int32, gen uint32) EventID {
 // engines on independent goroutines are fine — that is how the parallel
 // experiment runner fans out.)
 type Engine struct {
-	now     Time
-	events  []event // slot arena; grows, never shrinks
-	free    []int32 // released slots available for reuse
-	heap    []int32 // binary heap of live+dead slots by (when, seq)
-	nextSeq uint64
-	live    int // scheduled and not cancelled
-	fired   uint64
-	stopped bool
+	now       Time
+	events    []event // slot arena; grows, never shrinks
+	free      []int32 // released slots available for reuse
+	heap      []int32 // binary heap of live+dead slots by (when, seq)
+	nextSeq   uint64
+	live      int // scheduled and not cancelled
+	fired     uint64
+	lastFired Time // timestamp of the most recent fired event
+	stopped   bool
 
 	// Watchdog state (see watchdog.go). wdOn keeps the hot path to a
 	// single branch when no watchdog is armed.
@@ -147,6 +153,12 @@ func (e *Engine) Now() Time { return e.now }
 
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// LastFired returns the timestamp of the most recent fired event (zero if
+// none fired yet). Unlike Now, it is not advanced by RunUntil's
+// clock-to-deadline jump, which makes it the makespan measure a windowed
+// (sharded) run shares with a plain Run.
+func (e *Engine) LastFired() Time { return e.lastFired }
 
 // Pending reports how many events are scheduled and not cancelled.
 func (e *Engine) Pending() int { return e.live }
@@ -225,42 +237,54 @@ func (e *Engine) release(slot int32) {
 
 // step executes the earliest event. It reports false if none remain.
 func (e *Engine) step() bool {
-	for len(e.heap) > 0 {
-		slot := e.heap[0]
-		e.popRoot()
-		ev := &e.events[slot]
-		if ev.dead {
-			e.release(slot)
-			continue
-		}
-		fn := ev.fn
-		e.now = ev.when
-		e.fired++
-		e.live--
-		// Release before firing: fn may schedule into the freed slot, and
-		// the generation bump keeps the old ID from reaching the newcomer.
-		e.release(slot)
-		if e.probeOn {
-			e.probe.OnFire(e.now)
-		}
-		fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	slot := e.heap[0]
+	ev := &e.events[slot]
+	if ev.dead {
+		var ok bool
+		if slot, ok = e.reapRoot(); !ok {
+			return false
+		}
+		ev = &e.events[slot]
+	}
+	e.popRoot()
+	fn := ev.fn
+	e.now = ev.when
+	e.fired++
+	e.live--
+	// Release before firing: fn may schedule into the freed slot, and
+	// the generation bump keeps the old ID from reaching the newcomer.
+	e.release(slot)
+	if e.probeOn {
+		e.probe.OnFire(e.now)
+	}
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains, Stop is called, or an armed
 // watchdog trips (see SetWatchdog; the diagnostic is then available from
 // Err).
+//
+// lastFired is reconciled once per run, not per event: inside the loop the
+// clock only moves when an event fires, so if anything fired, e.now is the
+// last fired instant when the loop exits. Keeping the bookkeeping out of
+// step keeps the hot path to the same stores as before lastFired existed.
 func (e *Engine) Run() {
 	e.stopped = false
+	fired := e.fired
 	for !e.stopped {
 		if e.wdOn && !e.wdCheck() {
-			return
+			break
 		}
 		if !e.step() {
-			return
+			break
 		}
+	}
+	if e.fired != fired {
+		e.lastFired = e.now
 	}
 }
 
@@ -270,8 +294,14 @@ func (e *Engine) Run() {
 // run early, leaving the clock where the abort happened.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
+	fired := e.fired
 	for !e.stopped {
 		if e.wdOn && !e.wdCheck() {
+			// Abort without the deadline clamp, but reconcile lastFired
+			// first: the clock still sits on the last fired event.
+			if e.fired != fired {
+				e.lastFired = e.now
+			}
 			return
 		}
 		when, ok := e.peekWhen()
@@ -280,25 +310,50 @@ func (e *Engine) RunUntil(deadline Time) {
 		}
 		e.step()
 	}
+	if e.fired != fired {
+		e.lastFired = e.now
+	}
 	if e.now < deadline {
 		e.now = deadline
+	}
+}
+
+// reapRoot pops dead entries off the heap root — the root is known dead on
+// entry — releasing each slot, until a live event surfaces (its slot is
+// returned) or the heap drains. It is the one copy of the dead-slot reap
+// loop, shared by step and peekWhen so the reap-and-release bookkeeping
+// (and therefore Pending's exactness) cannot drift between the two paths;
+// each caller keeps only the loop-free root-is-live check inline, which is
+// what lets the Go compiler inline the hot path.
+func (e *Engine) reapRoot() (int32, bool) {
+	for {
+		e.release(e.heap[0])
+		e.popRoot()
+		if len(e.heap) == 0 {
+			return 0, false
+		}
+		if slot := e.heap[0]; !e.events[slot].dead {
+			return slot, true
+		}
 	}
 }
 
 // peekWhen reports the timestamp of the earliest live event, reaping dead
 // heap entries encountered at the root.
 func (e *Engine) peekWhen() (Time, bool) {
-	for len(e.heap) > 0 {
-		slot := e.heap[0]
-		ev := &e.events[slot]
-		if ev.dead {
-			e.popRoot()
-			e.release(slot)
-			continue
-		}
-		return ev.when, true
+	if len(e.heap) == 0 {
+		return 0, false
 	}
-	return 0, false
+	slot := e.heap[0]
+	ev := &e.events[slot]
+	if ev.dead {
+		var ok bool
+		if slot, ok = e.reapRoot(); !ok {
+			return 0, false
+		}
+		ev = &e.events[slot]
+	}
+	return ev.when, true
 }
 
 // less orders heap positions i, j by (when, seq).

@@ -27,10 +27,23 @@ func TestTimeString(t *testing.T) {
 		in   Time
 		want string
 	}{
+		{0, "0ps"},
 		{500, "500ps"},
 		{1500, "1.500ns"},
 		{2 * Microsecond, "2.000us"},
 		{3 * Millisecond, "0.003000s"},
+		// Negative times render through the positive path with a leading
+		// sign, not as raw picoseconds.
+		{-1, "-1ps"},
+		{-500, "-500ps"},
+		{-1500, "-1.500ns"},
+		{-1234567, "-1.235us"},
+		{-2 * Microsecond, "-2.000us"},
+		{-3 * Millisecond, "-0.003000s"},
+		{-1500 * Millisecond, "-1.500000s"},
+		{math.MinInt64 + 1, "-9223372.036855s"},
+		// MinInt64 cannot be negated; it falls back to raw picoseconds.
+		{math.MinInt64, "-9223372036854775808ps"},
 	}
 	for _, c := range cases {
 		if got := c.in.String(); got != c.want {
