@@ -10,7 +10,10 @@ import (
 	"time"
 
 	"netdimm"
+	"netdimm/internal/ethernet"
+	"netdimm/internal/fabric"
 	"netdimm/internal/sim"
+	"netdimm/internal/spec"
 )
 
 // benchReport is the JSON document emitted by `netdimm-sim bench`. It is the
@@ -115,10 +118,30 @@ func runBench() error {
 	}
 	rep.Sweeps = append(rep.Sweeps, sb)
 
+	fmt.Fprintf(os.Stderr, "bench: racksweep (256 hosts over a 2-leaf clos, %d packets/cell) ...\n", n)
+	var seqRack, parRack []netdimm.RackSweepResult
+	sb, err = timeSweep("racksweep_256h", 6, func(parallelism int) error {
+		rows, _, err := netdimm.RunRackSweep([]int{2}, []float64{0.2}, n, *seed, parallelism)
+		if parallelism == 1 {
+			seqRack = rows
+		} else {
+			parRack = rows
+		}
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(seqRack, parRack) {
+		rep.DeterminismOK = false
+	}
+	rep.Sweeps = append(rep.Sweeps, sb)
+
 	fmt.Fprintf(os.Stderr, "bench: sim engine hot path ...\n")
 	rep.Engine = append(rep.Engine,
 		engineResult("EngineSchedule", benchEngineSchedule),
 		engineResult("EngineCancel", benchEngineCancel),
+		engineResult("FabricForward", benchFabricForward),
 	)
 
 	fmt.Fprintf(os.Stderr, "bench: sharded loadsweep cell (%d packets, 32 hosts) ...\n", n)
@@ -216,6 +239,31 @@ func benchEngineSchedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		e.At(sim.Time(i), benchNop)
 		e.RunUntil(sim.Time(i))
+	}
+}
+
+// benchFabricForward measures one cross-rack traversal of the leaf/spine
+// clos per op: uplink, source leaf, ECMP-picked spine and destination leaf
+// (three switch hops), with the engine drained each round so the queues
+// stay warm but empty.
+func benchFabricForward(b *testing.B) {
+	sp := spec.TableOne()
+	sp.Fabric.Leaves = 2
+	sp.Fabric.Spines = 2
+	d := sp.MustDerive()
+	eng := sim.NewEngine()
+	topo := d.NewTopology(fabric.SingleEngine(eng), 8, 64)
+	src, dst := 0, 5 // host 5 sits in the other leaf: the full 3-hop path
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delivered := false
+		topo.Inject(src, dst, ethernet.Frame{ID: uint64(i), Bytes: 1500},
+			func(ethernet.Frame) { delivered = true })
+		eng.Run()
+		if !delivered {
+			b.Fatal("frame not delivered")
+		}
 	}
 }
 

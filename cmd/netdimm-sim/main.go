@@ -32,8 +32,9 @@ var (
 	scenario  = flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
 	lossRates = flag.String("loss", "", "comma-separated frame-loss rates for faultsweep (default 0,0.001,0.01,0.05,0.1,0.2)")
 	loadRates = flag.String("rate", "", "comma-separated offered loads (fractions of line rate) for loadsweep (default a grid bracketing each knee)")
-	hosts     = flag.Int("hosts", 0, "sender hosts fanning in to one receiver for loadsweep (0 = scenario value or 8)")
-	shards    = flag.Int("shards", 0, "engine shards per loadsweep cell: hosts spread over shards, results identical at any count (0 = scenario value or single-engine)")
+	hosts     = flag.Int("hosts", 0, "sender hosts for loadsweep (0 = scenario value or 8) and racksweep (0 = scenario value or 256)")
+	shards    = flag.Int("shards", 0, "engine shards per loadsweep/racksweep cell: hosts spread over shards, results identical at any count (0 = scenario value or single-engine)")
+	rackList  = flag.String("racks", "", "comma-separated rack (leaf) counts for racksweep (default 2,4,8; a scenario Fabric.Leaves pins one)")
 	cluster   = flag.String("cluster", "", "traffic distribution for loadsweep: database, webserver or hadoop (default scenario value or database)")
 	traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (fig11, faultsweep, mixed); open in ui.perfetto.dev")
 	metrics   = flag.Bool("metrics", false, "collect and print the metrics registry after the experiment output (fig11, faultsweep, mixed)")
@@ -117,6 +118,7 @@ var commands = []command{
 	{"replay", "replay a netdimm-trace file under all three architectures", false, runReplayArg},
 	{"faultsweep", "one-way latency vs injected frame loss, with retransmit recovery", false, runFaultSweep},
 	{"loadsweep", "rack-scale incast: latency vs offered load, with saturation knees", false, runLoadSweep},
+	{"racksweep", "leaf/spine clos: latency vs load across rack counts, ECN on/off", false, runRackSweep},
 	{"headline", "the abstract's summary numbers", true, runHeadline},
 	{"bench", "machine-readable benchmark report (JSON; see -benchn)", false, func(netdimm.Config) error { return runBench() }},
 }
@@ -547,6 +549,96 @@ func runLoadSweep(cfg netdimm.Config) error {
 			state = "unsaturated through"
 		}
 		fmt.Printf("  %-8s %s %g of line rate\n", k.Arch, state, k.Knee)
+	}
+	return nil
+}
+
+// parseRacks parses the -racks flag; an empty flag selects the default
+// grid (or the scenario's pinned leaf count).
+func parseRacks(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var racks []int
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("racksweep: bad rack count %q: %v", part, err)
+		}
+		racks = append(racks, r)
+	}
+	return racks, nil
+}
+
+func runRackSweep(cfg netdimm.Config) error {
+	rates, err := parseLoadRates(*loadRates)
+	if err != nil {
+		return err
+	}
+	racks, err := parseRacks(*rackList)
+	if err != nil {
+		return err
+	}
+	if *hosts != 0 {
+		cfg.Load.Hosts = *hosts
+	}
+	if *cluster != "" {
+		cfg.Load.Cluster = *cluster
+	}
+	if *shards != 0 {
+		cfg.Load.Shards = *shards
+	}
+	// The -n default of 1000 suits single-switch cells; a 256-host clos
+	// splits it sixteen ways. Unless -n was given explicitly, pass 0 so
+	// the sweep's own per-cell default applies.
+	n := 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			n = *packets
+		}
+	})
+	rows, knees, ob, err := netdimm.RunRackSweepObserved(obsConfig(cfg), racks, rates, n, *seed, *parallel)
+	if err != nil {
+		return err
+	}
+	defer emitObservation(ob)
+	ecnStr := func(on bool) string {
+		if on {
+			return "on"
+		}
+		return "off"
+	}
+	if *asCSV {
+		csvOut("arch", "racks", "ecn", "offered_load", "mean_ns", "p50_ns", "p99_ns", "p999_ns",
+			"delivered", "dropped", "marked", "cross_rack",
+			"leaf_max_depth", "spine_max_depth", "rx_max_depth", "link_util")
+		for _, r := range rows {
+			csvOut(r.Arch, fmt.Sprint(r.Racks), ecnStr(r.ECN), fmt.Sprintf("%g", r.OfferedLoad),
+				fmt.Sprint(r.Mean.Nanoseconds()), fmt.Sprint(r.P50.Nanoseconds()),
+				fmt.Sprint(r.P99.Nanoseconds()), fmt.Sprint(r.P999.Nanoseconds()),
+				fmt.Sprint(r.Delivered), fmt.Sprint(r.Dropped),
+				fmt.Sprint(r.Marked), fmt.Sprint(r.CrossRack),
+				fmt.Sprint(r.LeafMaxDepth), fmt.Sprint(r.SpineMaxDepth),
+				fmt.Sprint(r.RxMaxDepth), fmt.Sprintf("%.4f", r.LinkUtilization))
+		}
+		return nil
+	}
+	fmt.Println("Rack sweep — leaf/spine clos: end-to-end latency vs per-host load")
+	fmt.Printf("%-8s  %5s  %4s  %6s  %10s  %10s  %10s  %9s  %7s  %7s  %6s\n",
+		"arch", "racks", "ecn", "load", "mean", "p99", "p99.9", "delivered", "dropped", "marked", "xrack")
+	for _, r := range rows {
+		fmt.Printf("%-8s  %5d  %4s  %6g  %10v  %10v  %10v  %9d  %7d  %7d  %6d\n",
+			r.Arch, r.Racks, ecnStr(r.ECN), r.OfferedLoad, r.Mean, r.P99, r.P999,
+			r.Delivered, r.Dropped, r.Marked, r.CrossRack)
+	}
+	fmt.Println("\nSaturation knees per (arch, racks, ECN) curve")
+	for _, k := range knees {
+		state := "saturates beyond"
+		if !k.Saturated {
+			state = "unsaturated through"
+		}
+		fmt.Printf("  %-8s racks=%d ecn=%-3s %s %g of line rate\n",
+			k.Arch, k.Racks, ecnStr(k.ECN), state, k.Knee)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"netdimm/internal/fabric"
 	"netdimm/internal/fault"
 	"netdimm/internal/obs"
 	"netdimm/internal/spec"
@@ -32,6 +33,14 @@ type ObsConfig = obs.Spec
 // the zero value selects the sweep defaults and affects no other
 // experiment's output.
 type LoadConfig = workload.LoadSpec
+
+// FabricConfig shapes the switched network topology: how many leaf (rack)
+// and spine switches the clos has, the ECMP flow-hash seed, and the ECN
+// congestion signal (marking threshold and sender backoff). It aliases the
+// internal fabric.Spec so Config converts to the derivation form directly;
+// the zero value is the degenerate single-switch fabric every experiment
+// built before the fabric plane existed and changes no output.
+type FabricConfig = fabric.Spec
 
 // Config is the simulated system configuration — the paper's Table 1. It is
 // the single authoritative system specification: every machine constructor
@@ -69,6 +78,10 @@ type Config struct {
 	// Load shapes the rack-scale load sweep (the `loadsweep` experiment);
 	// see LoadConfig. Leave zero for the sweep defaults.
 	Load LoadConfig
+	// Fabric shapes the switched topology the load and rack sweeps build
+	// (leaf/spine clos, ECMP, ECN); see FabricConfig. Leave zero for the
+	// single-switch incast.
+	Fabric FabricConfig
 }
 
 // DefaultConfig returns Table 1 of the paper.
@@ -138,6 +151,14 @@ func (c Config) Table() string {
 		}
 		row("Load sweep", fmt.Sprintf("%d hosts incast, %s/%s traffic",
 			hosts, orDefault(c.Load.Cluster, "database"), orDefault(c.Load.Process, "poisson")))
+	}
+	if c.Fabric != (FabricConfig{}) {
+		f := c.Fabric.Resolved()
+		ecn := "off"
+		if f.ECNThreshold > 0 {
+			ecn = fmt.Sprintf("mark@%d, backoff %dns", f.ECNThreshold, f.ECNBackoffNs)
+		}
+		row("Fabric", fmt.Sprintf("%d leaves x %d spines, ECN %s", f.Leaves, f.Spines, ecn))
 	}
 	return sb.String()
 }

@@ -16,6 +16,11 @@ import (
 type Frame struct {
 	ID    uint64
 	Bytes int
+	// ECN is the congestion-experienced mark. A port whose queue is at or
+	// beyond its ECN threshold sets it at enqueue; the bit is sticky, so a
+	// mark anywhere along a multi-hop path survives to the receiver (the
+	// IP-ECN CE semantics DCTCP-style senders react to).
+	ECN bool
 	// Enqueued is when the frame entered the current port's queue.
 	Enqueued sim.Time
 }
@@ -24,12 +29,19 @@ type Frame struct {
 type PortStats struct {
 	Forwarded uint64
 	Dropped   uint64
-	// QueueDelaySum accumulates time spent waiting behind other frames.
+	// Marked counts frames that received a fresh ECN mark at this port
+	// (frames arriving already marked are not recounted).
+	Marked uint64
+	// QueueDelaySum accumulates time forwarded frames spent waiting behind
+	// other frames. It advances at transmission completion, the same
+	// instant Forwarded does, so the AvgQueueDelay division is consistent
+	// whenever it is read — not only after the queue drains.
 	QueueDelaySum sim.Time
 	MaxDepth      int
 }
 
-// AvgQueueDelay returns the mean queueing delay of forwarded frames.
+// AvgQueueDelay returns the mean queueing delay of forwarded frames, or 0
+// when no frame has completed transmission yet.
 func (s PortStats) AvgQueueDelay() sim.Time {
 	if s.Forwarded == 0 {
 		return 0
@@ -46,6 +58,7 @@ type Port struct {
 
 	queue []queuedFrame
 	busy  bool
+	ecnAt int // queue depth at/beyond which enqueues are ECN-marked; 0 = off
 	stats PortStats
 	inj   *fault.Injector
 }
@@ -72,6 +85,16 @@ func (p *Port) Stats() PortStats { return p.stats }
 // ASIC) on top of the real buffer-occupancy drop.
 func (p *Port) InjectFaults(inj *fault.Injector) { p.inj = inj }
 
+// SetECNThreshold arms ECN marking: a frame enqueued when the port already
+// holds at least `frames` frames (including the one on the wire) leaves
+// with its ECN bit set. 0 disables marking (the default).
+func (p *Port) SetECNThreshold(frames int) {
+	if frames < 0 {
+		panic(fmt.Sprintf("ethernet: ECN threshold %d", frames))
+	}
+	p.ecnAt = frames
+}
+
 // Depth returns the current queue occupancy (including the frame on the
 // wire).
 func (p *Port) Depth() int {
@@ -94,6 +117,10 @@ func (p *Port) Send(f Frame, deliver func(Frame)) bool {
 		p.stats.Dropped++
 		return false
 	}
+	if p.ecnAt > 0 && p.Depth() >= p.ecnAt && !f.ECN {
+		f.ECN = true
+		p.stats.Marked++
+	}
 	f.Enqueued = p.eng.Now()
 	p.queue = append(p.queue, queuedFrame{frame: f, deliver: deliver})
 	if d := p.Depth(); d > p.stats.MaxDepth {
@@ -113,10 +140,11 @@ func (p *Port) transmitNext() {
 	p.busy = true
 	qf := p.queue[0]
 	p.queue = p.queue[1:]
-	p.stats.QueueDelaySum += p.eng.Now() - qf.frame.Enqueued
+	waited := p.eng.Now() - qf.frame.Enqueued
 	wire := p.link.SerializeTime(qf.frame.Bytes)
 	p.eng.Schedule(wire, func() {
 		p.stats.Forwarded++
+		p.stats.QueueDelaySum += waited
 		if qf.deliver != nil {
 			f := qf.frame
 			p.eng.Schedule(p.link.PHYLatency, func() { qf.deliver(f) })
@@ -156,22 +184,28 @@ func (s *SwitchNode) InjectFaults(inj *fault.Injector) {
 	}
 }
 
+// Ports returns the number of egress ports.
+func (s *SwitchNode) Ports() int { return len(s.ports) }
+
+// SetECNThreshold arms ECN marking on every egress port.
+func (s *SwitchNode) SetECNThreshold(frames int) {
+	for _, p := range s.ports {
+		p.SetECNThreshold(frames)
+	}
+}
+
 // Forward switches a frame to egress port dst; deliver fires at the far
-// end of that port's link. It reports false if the egress buffer dropped
-// the frame.
-func (s *SwitchNode) Forward(dst int, f Frame, deliver func(Frame)) bool {
+// end of that port's link. The drop decision happens after the switching
+// delay, when the frame reaches the egress buffer, and is counted in that
+// port's Dropped stat — a dropped frame simply never calls deliver. (An
+// earlier version also returned a best-effort bool read on the near side
+// of the delay, which could disagree with the real decision; drop
+// accounting now has exactly one authority, Port.Send.)
+func (s *SwitchNode) Forward(dst int, f Frame, deliver func(Frame)) {
 	if dst < 0 || dst >= len(s.ports) {
 		panic(fmt.Sprintf("ethernet: no port %d", dst))
 	}
-	ok := true
 	s.eng.Schedule(s.latency, func() {
-		ok = s.ports[dst].Send(f, deliver)
+		s.ports[dst].Send(f, deliver)
 	})
-	// The drop decision happens after the switching delay; for the
-	// caller's convenience we report synchronously whether the port was
-	// already full now (best-effort early signal).
-	if s.ports[dst].Depth() >= s.ports[dst].capacity {
-		return false
-	}
-	return ok
 }

@@ -114,6 +114,125 @@ func TestPortValidation(t *testing.T) {
 	NewPort(sim.NewEngine(), Link40G(), 0)
 }
 
+// Regression: AvgQueueDelay must be 0 (not a division artifact) before any
+// frame finishes transmission, and consistent mid-run — the delay sum
+// advances at the same instant as the Forwarded count, never ahead of it.
+func TestAvgQueueDelayZeroBeforeFirstCompletion(t *testing.T) {
+	if (PortStats{}).AvgQueueDelay() != 0 {
+		t.Fatal("zero-forwarded stats should report zero delay")
+	}
+	eng := sim.NewEngine()
+	p := NewPort(eng, Link40G(), 64)
+	for i := 0; i < 4; i++ {
+		p.Send(Frame{ID: uint64(i), Bytes: 1514}, nil)
+	}
+	// Nothing has completed at t=0: the frames are queued or on the wire.
+	if s := p.Stats(); s.Forwarded != 0 || s.QueueDelaySum != 0 {
+		t.Fatalf("pre-completion stats = %+v, want no forwarded and no delay sum", s)
+	}
+	// Step to just after the first frame's serialisation: exactly one
+	// completion, and its (zero) wait is the whole sum; the three still
+	// queued must not have leaked into it.
+	eng.RunUntil(Link40G().SerializeTime(1514))
+	if s := p.Stats(); s.Forwarded != 1 || s.QueueDelaySum != 0 {
+		t.Fatalf("mid-run stats = %+v, want Forwarded=1 with the head frame's zero wait", s)
+	}
+	eng.Run()
+	if s := p.Stats(); s.Forwarded != 4 || s.AvgQueueDelay() <= 0 {
+		t.Fatalf("drained stats = %+v, want 4 forwarded with positive mean wait", s)
+	}
+}
+
+// Fan-in determinism: frames arriving at the switch on the same tick from
+// different ingress ports must reach the egress queue in Forward-call
+// order, every run.
+func TestSwitchFanInDeterministicOrder(t *testing.T) {
+	run := func() []uint64 {
+		eng := sim.NewEngine()
+		sw := NewSwitchNode(eng, Link40G(), 100*sim.Nanosecond, 1, 64)
+		var order []uint64
+		// Eight ingress callbacks all fire at the same instant; each
+		// forwards one frame to the shared egress port.
+		for i := 0; i < 8; i++ {
+			id := uint64(i)
+			eng.At(500, func() {
+				sw.Forward(0, Frame{ID: id, Bytes: 200}, func(f Frame) {
+					order = append(order, f.ID)
+				})
+			})
+		}
+		eng.Run()
+		return order
+	}
+	first := run()
+	if len(first) != 8 {
+		t.Fatalf("delivered %d frames, want 8", len(first))
+	}
+	for i, id := range first {
+		if id != uint64(i) {
+			t.Fatalf("same-tick fan-in out of call order: %v", first)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		again := run()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("run %d reordered fan-in: %v vs %v", r, again, first)
+			}
+		}
+	}
+}
+
+// ECN: a port at or beyond its threshold marks fresh frames; already-marked
+// frames pass through without recounting, and the bit is sticky.
+func TestPortECNMarking(t *testing.T) {
+	eng := sim.NewEngine()
+	p := NewPort(eng, Link40G(), 64)
+	p.SetECNThreshold(3)
+	var marks, clears int
+	deliver := func(f Frame) {
+		if f.ECN {
+			marks++
+		} else {
+			clears++
+		}
+	}
+	for i := 0; i < 6; i++ {
+		p.Send(Frame{ID: uint64(i), Bytes: 1514}, deliver)
+	}
+	eng.Run()
+	// Frames 0..2 enqueue below the threshold; 3..5 see depth >= 3.
+	if marks != 3 || clears != 3 {
+		t.Fatalf("marks = %d, clears = %d, want 3/3", marks, clears)
+	}
+	if s := p.Stats(); s.Marked != 3 {
+		t.Fatalf("Marked = %d, want 3", s.Marked)
+	}
+
+	// A frame already carrying the bit keeps it and is not recounted.
+	eng2 := sim.NewEngine()
+	q := NewPort(eng2, Link40G(), 64)
+	q.SetECNThreshold(1)
+	sticky := false
+	q.Send(Frame{ID: 9, Bytes: 64, ECN: true}, func(f Frame) { sticky = f.ECN })
+	eng2.Run()
+	if !sticky {
+		t.Fatal("ECN bit must survive the hop")
+	}
+	if s := q.Stats(); s.Marked != 0 {
+		t.Fatalf("pre-marked frame recounted: Marked = %d", s.Marked)
+	}
+}
+
+func TestECNThresholdValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative ECN threshold accepted")
+		}
+	}()
+	NewPort(sim.NewEngine(), Link40G(), 4).SetECNThreshold(-1)
+}
+
 // Incast: many synchronized senders into one egress port — queueing delay
 // grows with fan-in and the buffer eventually drops.
 func TestIncastBehaviour(t *testing.T) {

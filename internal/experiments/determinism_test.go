@@ -62,6 +62,14 @@ func TestParallelMatchesSequential(t *testing.T) {
 			rows, knees, err := LoadSweep(spec.TableOne(), []float64{0.05, 0.14, 0.2}, cfg, p)
 			return []any{rows, knees}, err
 		}},
+		{"RackSweep", func(p int) (any, error) {
+			sp := spec.TableOne()
+			sp.Load.Hosts = 12
+			cfg := DefaultRackSweepConfig()
+			cfg.Packets = 240
+			rows, knees, err := RackSweep(sp, []int{2}, []float64{0.1, 0.5}, cfg, p)
+			return []any{rows, knees}, err
+		}},
 		{"FaultSweep", func(p int) (any, error) {
 			sp := spec.TableOne()
 			sp.Fault.CorruptProb = 0.002
@@ -147,6 +155,54 @@ func TestLoadSweepShardedDeterminism(t *testing.T) {
 		}
 		if trace != trace1 {
 			t.Errorf("shards=%d trace bytes diverged from shards=1", shards)
+		}
+	}
+}
+
+// TestRackSweepShardedDeterminism extends the sharded contract to the
+// clos: many-to-many traffic with ECN echo channels partitioned across 1,
+// 2 or 4 shards must still be byte-identical — the host→fabric crossings,
+// the fabric→host mark echoes and every per-host tally are confined to
+// deterministic channel windows.
+func TestRackSweepShardedDeterminism(t *testing.T) {
+	run := func(shards int) ([]RackRow, []RackKnee, string) {
+		t.Helper()
+		sp := spec.TableOne()
+		sp.Load.Hosts = 12
+		sp.Load.Shards = shards
+		// Mark on any queued frame so the fabric→host echo channel — the
+		// only traffic flowing against the shard partition — carries real
+		// load in this small configuration.
+		sp.Fabric.ECNThreshold = 1
+		cfg := DefaultRackSweepConfig()
+		cfg.Packets = 240
+		rows, knees, o, err := RackSweepObserved(sp, []int{2}, []float64{0.1, 0.5}, cfg, 2,
+			obs.Spec{Metrics: true})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return rows, knees, o.MetricsCSV()
+	}
+	rows1, knees1, csv1 := run(1)
+	marked := false
+	for _, r := range rows1 {
+		if r.Marked > 0 {
+			marked = true
+		}
+	}
+	if !marked {
+		t.Error("no cell marked any frame; the ECN echo path is not being exercised")
+	}
+	for _, shards := range []int{2, 4} {
+		rows, knees, csv := run(shards)
+		if !reflect.DeepEqual(rows, rows1) {
+			t.Errorf("shards=%d rows diverged from shards=1", shards)
+		}
+		if !reflect.DeepEqual(knees, knees1) {
+			t.Errorf("shards=%d knees diverged from shards=1", shards)
+		}
+		if csv != csv1 {
+			t.Errorf("shards=%d metrics CSV diverged from shards=1", shards)
 		}
 	}
 }

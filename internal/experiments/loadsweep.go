@@ -6,6 +6,8 @@ import (
 
 	"netdimm/internal/driver"
 	"netdimm/internal/ethernet"
+	"netdimm/internal/fabric"
+	"netdimm/internal/fault"
 	"netdimm/internal/obs"
 	"netdimm/internal/sim"
 	"netdimm/internal/spec"
@@ -301,16 +303,30 @@ func (s *serialServer) serveNext() {
 }
 
 // loadCell runs one (arch, load) cell: shape.hosts open-loop senders into
-// one receiver. A positive Shards knob routes it through the sharded
-// engine when the specification offers a lookahead (a zero switch latency
-// leaves no safe window, so the single-engine path is forced).
+// one receiver across the specification's fabric (the zero Fabric block
+// resolves to one leaf and no spines — exactly the original single-switch
+// incast, so the pinned goldens are unchanged). A positive Shards knob
+// routes the cell through the sharded engine when the specification offers
+// a lookahead (a zero switch latency leaves no safe window, so the
+// single-engine path is forced): the fabric and the receiver driver live
+// on shard 0, sender host h on shard 1+h%(shards-1), and the host→fabric
+// crossing — whose latency is exactly the group lookahead — rides a
+// per-host channel created in host order.
+//
+// The partition is a pure function of the host index, so shards=1 and
+// shards=N run the identical window schedule and deliver cross-shard
+// events in the identical (when, channel, seq) order: results are
+// byte-identical at every shard count. (They are NOT byte-identical to the
+// Shards=0 single-engine path, which samples the egress depth on the near
+// side of the fabric crossing; pinned goldens run Shards=0.)
+//
+// When the Fabric block arms ECN, marked deliveries echo back to their
+// sender with one switch latency and pace its TX driver through a
+// fabric.Pacer; switch-port fault injection (Fault.PortDropProb) applies
+// at every fabric hop, drawing its stream on the fabric engine only.
 func loadCell(sp spec.Spec, arch string, load float64, shape loadShape, cfg LoadSweepConfig, oc *obs.Cell) (LoadRow, error) {
 	d := sp.MustDerive()
-	if shape.shards > 0 && d.ShardLookahead() > 0 {
-		return loadCellSharded(d, arch, load, shape, cfg, oc)
-	}
-	eng := sim.NewEngine()
-	eng.SetWatchdog(sim.Watchdog{MaxEvents: cfg.EventBudget})
+	rig := newCellRig(shape.shards, shape.hosts, d.ShardLookahead(), cfg.EventBudget)
 	link := d.Link
 
 	txs, rx, err := loadEndpoints(d, arch, shape.hosts, cfg.Seed)
@@ -323,171 +339,36 @@ func loadCell(sp spec.Spec, arch string, load float64, shape loadShape, cfg Load
 		return LoadRow{}, err
 	}
 
+	// Receiver side, on the fabric engine (shard 0 when sharded). Metric
+	// names are identical at every Shards value so observations are
+	// comparable across the knob.
 	reg := oc.Metrics()
-	recv := &serialServer{eng: eng}
+	recv := &serialServer{eng: rig.fabEng}
 	if s := reg.Series(arch + ".rx_queue_depth"); s != nil {
 		recv.onDepth = func(at sim.Time, depth int) { s.Sample(at, int64(depth)) }
 	}
 	egress := reg.Series(arch + ".egress_depth")
 	deliveredC := reg.Counter(arch + ".delivered")
 	droppedC := reg.Counter(arch + ".dropped")
-	obs.NewEngineProbe(reg, arch+".engine").Attach(eng)
-
-	// One switch with a single egress port toward the receiver: every
-	// sender's traffic funnels through it (the incast bottleneck on the
-	// wire side).
-	sw := ethernet.NewSwitchNode(eng, link, d.SwitchLatency, 1, shape.portBuffer)
-
-	var hist stats.Histogram
-	delivered, uplinkDrops := 0, 0
-	var wireBusy sim.Time
-
-	for h := 0; h < shape.hosts; h++ {
-		count := cfg.Packets / shape.hosts
-		if h < cfg.Packets%shape.hosts {
-			count++
-		}
-		if count == 0 {
-			continue
-		}
-		// Per-host seeds are independent of the offered load, so the
-		// packet sequence is identical along the load axis.
-		gen := workload.NewOpenLoop(shape.cluster, shape.process, perHostGap,
-			cfg.Seed+uint64(h)*0x9e3779b97f4a7c15)
-		txSrv := &serialServer{eng: eng}
-		uplink := ethernet.NewPort(eng, link, shape.portBuffer)
-		tx := txs[h]
-		host := uint64(h)
-
-		var arm func(i int)
-		arm = func(i int) {
-			if i >= count {
-				return
-			}
-			e := gen.Next()
-			eng.At(e.At, func() {
-				arm(i + 1)
-				p := e.Packet(host<<32 | uint64(i))
-				born := eng.Now()
-				txSrv.Submit(tx.TX(p).Total(), func() {
-					f := ethernet.Frame{ID: p.ID, Bytes: e.Size}
-					ok := uplink.Send(f, func(fr ethernet.Frame) {
-						egress.Sample(eng.Now(), int64(sw.Port(0).Depth()))
-						sw.Forward(0, fr, func(ethernet.Frame) {
-							recv.Submit(rx.RX(p).Total(), func() {
-								hist.Observe(eng.Now() - born)
-								delivered++
-								wireBusy += link.SerializeTime(e.Size)
-							})
-						})
-					})
-					if !ok {
-						uplinkDrops++
-					}
-				})
-			})
-		}
-		arm(0)
-	}
-
-	eng.Run()
-	if err := eng.Err(); err != nil {
-		return LoadRow{}, err
-	}
-
-	egStats := sw.Port(0).Stats()
-	dropped := uplinkDrops + int(egStats.Dropped)
-	util := 0.0
-	if eng.Now() > 0 {
-		util = float64(wireBusy) / float64(eng.Now())
-	}
-	deliveredC.Add(int64(delivered))
-	droppedC.Add(int64(dropped))
-	reg.Gauge(arch + ".link_util_pct").Set(int64(math.Round(util * 100)))
-	reg.Gauge(arch + ".egress_max_depth").Set(int64(egStats.MaxDepth))
-	reg.Gauge(arch + ".rx_max_depth").Set(int64(recv.maxDepth))
-
-	return LoadRow{
-		Arch:             arch,
-		Load:             load,
-		Mean:             hist.Mean(),
-		P50:              hist.Percentile(50),
-		P99:              hist.Percentile(99),
-		P999:             hist.Percentile(99.9),
-		Delivered:        delivered,
-		Dropped:          dropped,
-		EgressMaxDepth:   egStats.MaxDepth,
-		EgressQueueDelay: egStats.AvgQueueDelay(),
-		RxMaxDepth:       recv.maxDepth,
-		LinkUtilization:  util,
-		Hist:             &hist,
-	}, nil
-}
-
-// loadCellSharded is loadCell on a conservatively sharded engine: the
-// switch egress port and the receiver driver live on shard 0, sender host
-// h (its generator, TX driver and uplink port) on shard 1+h%(shards-1),
-// and the only cross-shard crossing is the switch hop — whose port-to-port
-// latency is therefore the group lookahead (spec.Derived.ShardLookahead).
-//
-// The partition is a pure function of the host index and channels are
-// created in host order, so shards=1 and shards=N run the identical window
-// schedule and deliver cross-shard events in the identical (when, channel,
-// seq) order: results are byte-identical at every shard count. (They are
-// NOT byte-identical to the Shards=0 single-engine path, which samples the
-// egress depth on the near side of the switch hop; pinned goldens run
-// Shards=0.)
-func loadCellSharded(d *spec.Derived, arch string, load float64, shape loadShape, cfg LoadSweepConfig, oc *obs.Cell) (LoadRow, error) {
-	lookahead := d.ShardLookahead()
-	shards := shape.shards
-	if shards > shape.hosts+1 {
-		shards = shape.hosts + 1 // more shards than components would sit idle
-	}
-	g := sim.NewShardGroup(shards, lookahead)
-	g.SetWatchdog(sim.Watchdog{MaxEvents: cfg.EventBudget})
-	link := d.Link
-
-	txs, rx, err := loadEndpoints(d, arch, shape.hosts, cfg.Seed)
-	if err != nil {
-		return LoadRow{}, err
-	}
-
-	perHostGap, err := shape.cluster.MeanGapForLoad(load, shape.hosts, link.BitsPerSec/1e9)
-	if err != nil {
-		return LoadRow{}, err
-	}
-
-	hostShard := func(h int) int {
-		if shards == 1 {
-			return 0
-		}
-		return 1 + h%(shards-1)
-	}
-
-	// The receiver side, all on shard 0. Metric names match the
-	// single-engine cell so observations are comparable across the knob.
-	reg := oc.Metrics()
-	rxEng := g.Engine(0)
-	recv := &serialServer{eng: rxEng}
-	if s := reg.Series(arch + ".rx_queue_depth"); s != nil {
-		recv.onDepth = func(at sim.Time, depth int) { s.Sample(at, int64(depth)) }
-	}
-	egressSeries := reg.Series(arch + ".egress_depth")
-	deliveredC := reg.Counter(arch + ".delivered")
-	droppedC := reg.Counter(arch + ".dropped")
-	// Registry counters are not safe for concurrent writers, so each shard
-	// carries a private probe; the merge after the run lands the same
-	// totals under the same metric names as the single-engine cell.
 	ep := obs.NewEngineProbe(reg, arch+".engine")
-	var probes []*obs.ShardProbe
-	if ep != nil {
-		probes = make([]*obs.ShardProbe, shards)
-		for i := range probes {
-			probes[i] = &obs.ShardProbe{}
-			probes[i].Attach(g.Engine(i))
-		}
+	probes := rig.attachProbes(ep)
+
+	// The receiver is the fabric's last endpoint; every sender's traffic
+	// funnels into its downlink (the incast bottleneck on the wire side).
+	rcv := shape.hosts
+	topo := d.NewTopology(rig.placement(), shape.hosts+1, shape.portBuffer)
+	if d.Spec.Fault.PortDropProb > 0 {
+		topo.InjectFaults(fault.NewInjector(d.Spec.Fault, cfg.Seed))
 	}
-	egress := ethernet.NewPort(rxEng, link, shape.portBuffer)
+	egPort := topo.Downlink(rcv)
+	if rig.sharded() {
+		// Far side of the crossing: the depth is read on the fabric shard
+		// (the near-side read below would race with shard 0's dequeues).
+		topo.OnFabricIngress = func(int, int) { egress.Sample(rig.fabEng.Now(), int64(egPort.Depth())) }
+	} else {
+		topo.OnUplinkDeliver = func(int, int) { egress.Sample(rig.fabEng.Now(), int64(egPort.Depth())) }
+	}
+	ecn := topo.Spec().ECNThreshold > 0
 
 	var hist stats.Histogram
 	delivered := 0
@@ -497,24 +378,28 @@ func loadCellSharded(d *spec.Derived, arch string, load float64, shape loadShape
 	hostDrops := make([]int, shape.hosts)
 
 	for h := 0; h < shape.hosts; h++ {
-		count := cfg.Packets / shape.hosts
-		if h < cfg.Packets%shape.hosts {
-			count++
-		}
+		count := shareCount(cfg.Packets, shape.hosts, h)
 		if count == 0 {
 			continue
 		}
-		eng := g.Engine(hostShard(h))
-		ch := g.NewChannel(hostShard(h), 0)
+		rig.armHost(h, ecn)
+		eng := rig.hostEngine(h)
 		// Per-host seeds are independent of the offered load, so the
 		// packet sequence is identical along the load axis.
 		gen := workload.NewOpenLoop(shape.cluster, shape.process, perHostGap,
 			cfg.Seed+uint64(h)*0x9e3779b97f4a7c15)
 		txSrv := &serialServer{eng: eng}
-		uplink := ethernet.NewPort(eng, link, shape.portBuffer)
 		tx := txs[h]
+		src := h
 		host := uint64(h)
 		drops := &hostDrops[h]
+		var pacer *fabric.Pacer
+		if ecn {
+			// A mark stalls the sender by occupying its TX driver for one
+			// backoff — queued arrivals wait behind it.
+			pacer = &fabric.Pacer{Backoff: topo.Spec().ECNBackoff(),
+				Stall: func(dur sim.Time, done func()) { txSrv.Submit(dur, done) }}
+		}
 
 		var arm func(i int)
 		arm = func(i int) {
@@ -528,19 +413,15 @@ func loadCellSharded(d *spec.Derived, arch string, load float64, shape loadShape
 				born := eng.Now()
 				txSrv.Submit(tx.TX(p).Total(), func() {
 					f := ethernet.Frame{ID: p.ID, Bytes: e.Size}
-					ok := uplink.Send(f, func(fr ethernet.Frame) {
-						// The switch hop is the cross-shard crossing; its
-						// latency is exactly the group lookahead.
-						ch.Send(lookahead, func() {
-							egressSeries.Sample(rxEng.Now(), int64(egress.Depth()))
-							egress.Send(fr, func(ethernet.Frame) {
-								recv.Submit(rx.RX(p).Total(), func() {
-									hist.Observe(rxEng.Now() - born)
-									delivered++
-									wireBusy += link.SerializeTime(e.Size)
-								})
-							})
+					ok := topo.Inject(src, rcv, f, func(fr ethernet.Frame) {
+						recv.Submit(rx.RX(p).Total(), func() {
+							hist.Observe(rig.fabEng.Now() - born)
+							delivered++
+							wireBusy += link.SerializeTime(e.Size)
 						})
+						if pacer != nil && fr.ECN {
+							topo.EchoMark(src, pacer.OnMark)
+						}
 					})
 					if !ok {
 						*drops++
@@ -551,25 +432,31 @@ func loadCellSharded(d *spec.Derived, arch string, load float64, shape loadShape
 		arm(0)
 	}
 
-	if err := g.Run(); err != nil {
+	if err := rig.run(); err != nil {
 		return LoadRow{}, err
 	}
-	ep.Merge(probes...)
+	if probes != nil {
+		ep.Merge(probes...)
+	}
 
-	egStats := egress.Stats()
-	dropped := int(egStats.Dropped)
+	fstats := topo.Stats()
+	egStats := egPort.Stats()
+	dropped := int(fstats.Dropped)
 	for _, n := range hostDrops {
 		dropped += n
 	}
 	util := 0.0
-	if g.Now() > 0 {
-		util = float64(wireBusy) / float64(g.Now())
+	if rig.now() > 0 {
+		util = float64(wireBusy) / float64(rig.now())
 	}
 	deliveredC.Add(int64(delivered))
 	droppedC.Add(int64(dropped))
 	reg.Gauge(arch + ".link_util_pct").Set(int64(math.Round(util * 100)))
 	reg.Gauge(arch + ".egress_max_depth").Set(int64(egStats.MaxDepth))
 	reg.Gauge(arch + ".rx_max_depth").Set(int64(recv.maxDepth))
+	if ecn {
+		reg.Gauge(arch + ".ecn_marked").Set(int64(fstats.Marked))
+	}
 
 	return LoadRow{
 		Arch:             arch,

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"netdimm/internal/fabric"
+	"netdimm/internal/obs"
+	"netdimm/internal/sim"
+)
+
+// cellRig abstracts one sweep cell's engine layout, so the load and rack
+// sweeps share a single cell body instead of near-identical single-engine
+// and sharded copies. A rig is either one engine, or a conservative
+// ShardGroup with the whole fabric plus every receiver-side component on
+// shard 0 and sender host h on shard 1+h%(shards-1); the host→fabric
+// crossing (and, when ECN is armed, the fabric→host echo) are the only
+// cross-shard edges, carried by per-host Channels created in host order so
+// results are byte-identical at every shard count.
+type cellRig struct {
+	group     *sim.ShardGroup // nil on the single-engine path
+	fabEng    *sim.Engine     // fabric + receiver engine (shard 0 when sharded)
+	lookahead sim.Time
+	shards    int
+
+	cross []*sim.Channel // host→fabric, armed hosts only
+	echo  []*sim.Channel // fabric→host, armed hosts with ECN only
+}
+
+// newCellRig builds the engine layout for a cell of `hosts` sender hosts
+// (the fabric may carry more endpoints — receivers — which all live on the
+// fabric engine). shards <= 0, or a zero lookahead, selects the
+// single-engine path; a positive count is clamped to hosts+1 since more
+// shards than components would sit idle.
+func newCellRig(shards, hosts int, lookahead sim.Time, budget uint64) *cellRig {
+	if shards > 0 && lookahead > 0 {
+		if shards > hosts+1 {
+			shards = hosts + 1
+		}
+		g := sim.NewShardGroup(shards, lookahead)
+		g.SetWatchdog(sim.Watchdog{MaxEvents: budget})
+		return &cellRig{
+			group: g, fabEng: g.Engine(0), lookahead: lookahead, shards: shards,
+			cross: make([]*sim.Channel, hosts),
+			echo:  make([]*sim.Channel, hosts),
+		}
+	}
+	eng := sim.NewEngine()
+	eng.SetWatchdog(sim.Watchdog{MaxEvents: budget})
+	return &cellRig{fabEng: eng, lookahead: lookahead, shards: 1}
+}
+
+func (r *cellRig) sharded() bool { return r.group != nil }
+
+// hostShard is the pure partition function: host h lives on shard
+// 1+h%(shards-1) so the fabric shard 0 never shares a goroutine with a
+// sender (except in the one-shard group, which exercises the identical
+// delivery path on a single shard).
+func (r *cellRig) hostShard(h int) int {
+	if r.group == nil || r.shards == 1 {
+		return 0
+	}
+	return 1 + h%(r.shards-1)
+}
+
+// hostEngine returns the engine host h's components are built on.
+func (r *cellRig) hostEngine(h int) *sim.Engine {
+	if r.group == nil {
+		return r.fabEng
+	}
+	return r.group.Engine(r.hostShard(h))
+}
+
+// armHost creates host h's cross-shard channels (host→fabric, and
+// fabric→host when ecn echoes are needed). It must be called in host order
+// for every armed host — channel ids are the delivery tie-break — and is a
+// no-op on the single-engine path.
+func (r *cellRig) armHost(h int, ecn bool) {
+	if r.group == nil {
+		return
+	}
+	r.cross[h] = r.group.NewChannel(r.hostShard(h), 0)
+	if ecn {
+		r.echo[h] = r.group.NewChannel(0, r.hostShard(h))
+	}
+}
+
+// placement maps a fabric.Topology onto the rig: switches on the fabric
+// engine, uplinks on the host engines, crossings through the per-host
+// channels (which impose exactly the lookahead the switch latency
+// provides) or plain schedules on the single engine.
+func (r *cellRig) placement() fabric.Placement {
+	if r.group == nil {
+		eng := r.fabEng
+		sched := func(_ int, delay sim.Time, fn func()) { eng.Schedule(delay, fn) }
+		return fabric.Placement{Fabric: eng, Host: func(int) *sim.Engine { return eng }, Cross: sched, Echo: sched}
+	}
+	return fabric.Placement{
+		Fabric: r.fabEng,
+		Host:   r.hostEngine,
+		Cross:  func(h int, delay sim.Time, fn func()) { r.cross[h].Send(delay, fn) },
+		Echo:   func(h int, delay sim.Time, fn func()) { r.echo[h].Send(delay, fn) },
+	}
+}
+
+// attachProbes arms engine instrumentation: the EngineProbe directly on a
+// single engine, or one private ShardProbe per shard (registry counters
+// are not safe for concurrent writers) to be folded back by finishProbes.
+func (r *cellRig) attachProbes(ep *obs.EngineProbe) []*obs.ShardProbe {
+	if ep == nil {
+		return nil
+	}
+	if r.group == nil {
+		ep.Attach(r.fabEng)
+		return nil
+	}
+	probes := make([]*obs.ShardProbe, r.shards)
+	for i := range probes {
+		probes[i] = &obs.ShardProbe{}
+		probes[i].Attach(r.group.Engine(i))
+	}
+	return probes
+}
+
+// run executes the cell to completion (or a tripped watchdog).
+func (r *cellRig) run() error {
+	if r.group == nil {
+		r.fabEng.Run()
+		return r.fabEng.Err()
+	}
+	return r.group.Run()
+}
+
+// now returns the cell's final instant: the latest fired event.
+func (r *cellRig) now() sim.Time {
+	if r.group == nil {
+		return r.fabEng.Now()
+	}
+	return r.group.Now()
+}
+
+// shareCount splits `total` work items over `parts` workers: worker i gets
+// the base share plus one of the remainder's leftovers.
+func shareCount(total, parts, i int) int {
+	count := total / parts
+	if i < total%parts {
+		count++
+	}
+	return count
+}

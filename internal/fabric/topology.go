@@ -1,0 +1,283 @@
+package fabric
+
+import (
+	"fmt"
+
+	"netdimm/internal/ethernet"
+	"netdimm/internal/fault"
+	"netdimm/internal/sim"
+)
+
+// Placement maps the topology's components onto event engines. The whole
+// switching fabric (every leaf and spine port) lives on one engine; each
+// host's NIC uplink port lives on that host's engine. Cross carries the
+// single host→fabric crossing and Echo the fabric→host ECN echo; both
+// must impose at least the fabric's switch latency, which in a sharded
+// cell is exactly the conservative lookahead.
+type Placement struct {
+	// Fabric is the engine every switch port is built on.
+	Fabric *sim.Engine
+	// Host returns host h's engine (where its uplink port is built).
+	Host func(h int) *sim.Engine
+	// Cross schedules fn on the fabric engine, delay after host h's
+	// current instant.
+	Cross func(h int, delay sim.Time, fn func())
+	// Echo schedules fn on host h's engine, delay after the fabric
+	// engine's current instant. Only used when ECN is armed; may be nil
+	// otherwise.
+	Echo func(h int, delay sim.Time, fn func())
+}
+
+// SingleEngine places everything on one engine: crossings become plain
+// schedules, which makes the degenerate one-leaf topology event-for-event
+// identical to the pre-fabric single-switch incast.
+func SingleEngine(eng *sim.Engine) Placement {
+	sched := func(_ int, delay sim.Time, fn func()) { eng.Schedule(delay, fn) }
+	return Placement{
+		Fabric: eng,
+		Host:   func(int) *sim.Engine { return eng },
+		Cross:  sched,
+		Echo:   sched,
+	}
+}
+
+// Topology is a built fabric: hosts' uplink ports, the leaf switches (one
+// block of hosts each) and the spine switches joining them. Frames enter
+// through Inject and every hop — uplink, leaf egress, spine egress —
+// is a finite output queue that serialises, tail-drops and (when armed)
+// ECN-marks.
+//
+// Port layout: leaf l's ports [0, spines) face the spines (one uplink
+// each) and ports [spines, spines+hostsOn(l)) face its hosts (one
+// downlink each); spine s has one port per leaf. Routing is hop-by-hop:
+// same-leaf traffic turns around at the leaf, cross-leaf traffic takes
+// leaf → ECMP-chosen spine → destination leaf.
+type Topology struct {
+	spec    Spec // resolved
+	link    ethernet.Link
+	latency sim.Time
+	hosts   int
+	place   Placement
+
+	uplinks []*ethernet.Port
+	leaves  []*ethernet.SwitchNode
+	spines  []*ethernet.SwitchNode
+
+	// OnUplinkDeliver, when set, runs on host src's engine the moment its
+	// uplink delivers a frame toward the fabric (before the switch-latency
+	// crossing). OnFabricIngress runs on the fabric engine just after the
+	// crossing, before the frame enqueues at its first switch port. The
+	// load sweep uses one or the other to sample queue depths on the side
+	// of the crossing its engine layout can reach race-free.
+	OnUplinkDeliver func(src, dst int)
+	OnFabricIngress func(src, dst int)
+}
+
+// New builds the topology described by s (resolved with its defaults)
+// over the given link and per-hop switch latency, for `hosts` hosts with
+// `portBuffer` frames of buffering at every port. ECN marking, when
+// armed, applies to the switch ports only — the host uplink NIC queue
+// does not mark, mirroring switch-based ECN deployments.
+func New(p Placement, link ethernet.Link, latency sim.Time, s Spec, hosts, portBuffer int) *Topology {
+	if hosts < 1 {
+		panic(fmt.Sprintf("fabric: topology needs hosts, got %d", hosts))
+	}
+	if p.Fabric == nil || p.Host == nil || p.Cross == nil {
+		panic("fabric: placement needs Fabric, Host and Cross")
+	}
+	s = s.Resolved()
+	t := &Topology{spec: s, link: link, latency: latency, hosts: hosts, place: p}
+
+	t.uplinks = make([]*ethernet.Port, hosts)
+	for h := 0; h < hosts; h++ {
+		t.uplinks[h] = ethernet.NewPort(p.Host(h), link, portBuffer)
+	}
+	t.leaves = make([]*ethernet.SwitchNode, s.Leaves)
+	for l := range t.leaves {
+		lo, hi := t.leafHostBounds(l)
+		t.leaves[l] = ethernet.NewSwitchNode(p.Fabric, link, latency, s.Spines+(hi-lo), portBuffer)
+		if s.ECNThreshold > 0 {
+			t.leaves[l].SetECNThreshold(s.ECNThreshold)
+		}
+	}
+	if s.Spines > 0 {
+		t.spines = make([]*ethernet.SwitchNode, s.Spines)
+		for sp := range t.spines {
+			t.spines[sp] = ethernet.NewSwitchNode(p.Fabric, link, latency, s.Leaves, portBuffer)
+			if s.ECNThreshold > 0 {
+				t.spines[sp].SetECNThreshold(s.ECNThreshold)
+			}
+		}
+	}
+	return t
+}
+
+// Spec returns the resolved fabric block the topology was built from.
+func (t *Topology) Spec() Spec { return t.spec }
+
+// Hosts returns the host count.
+func (t *Topology) Hosts() int { return t.hosts }
+
+// Leaves returns the leaf count.
+func (t *Topology) Leaves() int { return len(t.leaves) }
+
+// Spines returns the spine count.
+func (t *Topology) Spines() int { return len(t.spines) }
+
+// LeafOf returns host h's leaf.
+func (t *Topology) LeafOf(h int) int { return LeafOf(h, t.hosts, len(t.leaves)) }
+
+// leafHostBounds returns the half-open host range [lo, hi) attached to
+// leaf l.
+func (t *Topology) leafHostBounds(l int) (lo, hi int) {
+	per := (t.hosts + len(t.leaves) - 1) / len(t.leaves)
+	lo = l * per
+	hi = lo + per
+	if hi > t.hosts {
+		hi = t.hosts
+	}
+	if lo > hi {
+		lo = hi // trailing leaves of an uneven split carry no hosts
+	}
+	return lo, hi
+}
+
+// downIdx returns the leaf-l port index of the downlink toward host h.
+func (t *Topology) downIdx(l, h int) int {
+	lo, _ := t.leafHostBounds(l)
+	return t.spec.Spines + (h - lo)
+}
+
+// Uplink returns host h's NIC uplink port.
+func (t *Topology) Uplink(h int) *ethernet.Port { return t.uplinks[h] }
+
+// Downlink returns the leaf egress port facing host h — the last queue a
+// frame crosses before delivery (the incast hot spot).
+func (t *Topology) Downlink(h int) *ethernet.Port {
+	l := t.LeafOf(h)
+	return t.leaves[l].Port(t.downIdx(l, h))
+}
+
+// SpineFor returns the spine the ECMP hash pins for the (src, dst) flow.
+// It panics on a spineless fabric (no cross-leaf path exists to choose).
+func (t *Topology) SpineFor(src, dst int) int {
+	if len(t.spines) == 0 {
+		panic("fabric: no spines to hash over")
+	}
+	return int(FlowHash(uint64(src), uint64(dst), t.spec.Seed) % uint64(len(t.spines)))
+}
+
+// CrossesSpine reports whether src→dst traffic leaves its leaf.
+func (t *Topology) CrossesSpine(src, dst int) bool {
+	return t.LeafOf(src) != t.LeafOf(dst)
+}
+
+// Inject sends a frame from host src's uplink toward host dst; delivered
+// fires on the fabric engine when the frame leaves dst's downlink port
+// (its ECN bit reflecting any congested queue along the way). Inject
+// returns false if src's own uplink buffer tail-dropped the frame; drops
+// deeper in the fabric are counted in the per-port stats and simply never
+// deliver.
+func (t *Topology) Inject(src, dst int, f ethernet.Frame, delivered func(ethernet.Frame)) bool {
+	if dst < 0 || dst >= t.hosts {
+		panic(fmt.Sprintf("fabric: no host %d", dst))
+	}
+	return t.uplinks[src].Send(f, func(fr ethernet.Frame) {
+		if t.OnUplinkDeliver != nil {
+			t.OnUplinkDeliver(src, dst)
+		}
+		// The uplink's far end is the source leaf's ingress: one switch
+		// latency away, and on the fabric engine (the cross-shard crossing
+		// in a sharded cell).
+		t.place.Cross(src, t.latency, func() {
+			if t.OnFabricIngress != nil {
+				t.OnFabricIngress(src, dst)
+			}
+			t.fromLeaf(src, dst, fr, delivered)
+		})
+	})
+}
+
+// fromLeaf routes a frame that has just arrived (switch latency already
+// paid) at src's leaf. Same-leaf traffic enqueues straight at the
+// destination downlink; cross-leaf traffic queues at the leaf's spine
+// uplink, pays the spine's latency into its leaf-facing port, then the
+// destination leaf's latency into the final downlink.
+func (t *Topology) fromLeaf(src, dst int, f ethernet.Frame, delivered func(ethernet.Frame)) {
+	sl, dl := t.LeafOf(src), t.LeafOf(dst)
+	if sl == dl {
+		t.leaves[sl].Port(t.downIdx(sl, dst)).Send(f, delivered)
+		return
+	}
+	sp := t.SpineFor(src, dst)
+	t.leaves[sl].Port(sp).Send(f, func(fr ethernet.Frame) {
+		t.spines[sp].Forward(dl, fr, func(fr2 ethernet.Frame) {
+			t.leaves[dl].Forward(t.downIdx(dl, dst), fr2, delivered)
+		})
+	})
+}
+
+// EchoMark schedules fn on host src's engine one switch latency after the
+// fabric engine's current instant — the simplified return path of an ECN
+// echo (a lossless control message, not subject to the data-path queues).
+func (t *Topology) EchoMark(src int, fn func()) {
+	if t.place.Echo == nil {
+		panic("fabric: placement has no Echo path")
+	}
+	t.place.Echo(src, t.latency, fn)
+}
+
+// InjectFaults attaches the injector to every switch port — drops now
+// apply at every hop, not only the final egress. The host uplinks are
+// left clean: the injector draws from one rng stream and must only be
+// consumed from the fabric engine to stay deterministic under sharding.
+func (t *Topology) InjectFaults(inj *fault.Injector) {
+	for _, l := range t.leaves {
+		l.InjectFaults(inj)
+	}
+	for _, s := range t.spines {
+		s.InjectFaults(inj)
+	}
+}
+
+// Stats aggregates the per-port counters of every switch hop.
+type Stats struct {
+	// Forwarded, Dropped and Marked sum over every leaf and spine port.
+	Forwarded uint64
+	Dropped   uint64
+	Marked    uint64
+	// LeafMaxDepth and SpineMaxDepth are the high-water marks across the
+	// respective layer's ports.
+	LeafMaxDepth  int
+	SpineMaxDepth int
+}
+
+// Stats sums the switch-port statistics across the fabric. Host uplink
+// ports are excluded (they belong to the sender model, not the fabric);
+// read them per host via Uplink.
+func (t *Topology) Stats() Stats {
+	var out Stats
+	for _, l := range t.leaves {
+		for i := 0; i < l.Ports(); i++ {
+			s := l.Port(i).Stats()
+			out.Forwarded += s.Forwarded
+			out.Dropped += s.Dropped
+			out.Marked += s.Marked
+			if s.MaxDepth > out.LeafMaxDepth {
+				out.LeafMaxDepth = s.MaxDepth
+			}
+		}
+	}
+	for _, sp := range t.spines {
+		for i := 0; i < sp.Ports(); i++ {
+			s := sp.Port(i).Stats()
+			out.Forwarded += s.Forwarded
+			out.Dropped += s.Dropped
+			out.Marked += s.Marked
+			if s.MaxDepth > out.SpineMaxDepth {
+				out.SpineMaxDepth = s.MaxDepth
+			}
+		}
+	}
+	return out
+}

@@ -1,10 +1,6 @@
 package kalloc
 
-import (
-	"fmt"
-
-	"netdimm/internal/addrmap"
-)
+import "fmt"
 
 // AllocCache is the NetDIMM driver's pre-allocation hash table (paper
 // Sec. 4.2.2): it keeps PerSubarray pages from every distinct (rank, bank,
@@ -16,7 +12,13 @@ import (
 type AllocCache struct {
 	zone        *Zone
 	perSubarray int
-	cache       map[addrmap.SubarrayKey][]int64
+	// cache holds each bucket's ready pages, indexed by SubarrayKey —
+	// keys are dense in [0, zone.Buckets()), so a slice replaces the
+	// hash table the paper names (the affinity lookup is still O(1),
+	// now without hashing). All bucket slices share one backing array
+	// carved out at construction, so a prefilled cache costs two
+	// allocations instead of one per bucket.
+	cache [][]int64
 	// cursor is where the next NoHint lookup starts its bucket scan. A
 	// rotating cursor spreads no-affinity allocations across sub-arrays
 	// (like the kernel's per-CPU freelist rotation) and — unlike ranging
@@ -40,7 +42,11 @@ func NewAllocCache(zone *Zone, perSubarray int) (*AllocCache, error) {
 	c := &AllocCache{
 		zone:        zone,
 		perSubarray: perSubarray,
-		cache:       make(map[addrmap.SubarrayKey][]int64, zone.Buckets()),
+		cache:       make([][]int64, zone.Buckets()),
+	}
+	backing := make([]int64, zone.Buckets()*perSubarray)
+	for k := range c.cache {
+		c.cache[k] = backing[k*perSubarray : k*perSubarray : (k+1)*perSubarray]
 	}
 	if err := c.Refill(); err != nil {
 		return nil, err
@@ -80,11 +86,11 @@ func (c *AllocCache) Get(hint int64) (addr int64, fast bool, err error) {
 		// key order, resuming where the previous no-hint lookup left off.
 		n := c.zone.Buckets()
 		for i := 0; i < n; i++ {
-			key := addrmap.SubarrayKey((c.cursor + i) % n)
+			key := (c.cursor + i) % n
 			if pages := c.cache[key]; len(pages) > 0 {
 				addr = pages[len(pages)-1]
 				c.cache[key] = pages[:len(pages)-1]
-				c.cursor = (int(key) + 1) % n
+				c.cursor = (key + 1) % n
 				c.hits++
 				return addr, true, nil
 			}
@@ -102,16 +108,16 @@ func (c *AllocCache) Get(hint int64) (addr int64, fast bool, err error) {
 // allocator's best-effort path.
 func (c *AllocCache) Refill() error {
 	for key := 0; key < c.zone.Buckets(); key++ {
-		k := addrmap.SubarrayKey(key)
-		for len(c.cache[k]) < c.perSubarray {
+		pages := c.cache[key]
+		for len(pages) < c.perSubarray {
 			addr := c.zone.allocFromBucket(key)
 			if addr < 0 {
 				break
 			}
-			c.zone.allocated[addr] = true
-			c.zone.stats.Allocs++
-			c.cache[k] = append(c.cache[k], addr)
+			c.zone.markAllocated(addr)
+			pages = append(pages, addr)
 		}
+		c.cache[key] = pages
 	}
 	return nil
 }

@@ -45,8 +45,15 @@ type Zone struct {
 	buckets []subBucket
 	ranks   int
 
-	allocated map[int64]bool
-	stats     ZoneStats
+	// allocated is a page-granular bitmap over [Base, Base+Size): bit i
+	// covers page i. One bit per 4KB page costs Size/32768 bytes — far
+	// below the hash table it replaced, and allocation tracking becomes
+	// two shifts and a mask instead of a map operation (the allocCache
+	// prefill walks every bucket at construction, so this is on the
+	// machine build path).
+	allocated  []uint64
+	allocCount int64
+	stats      ZoneStats
 }
 
 // ZoneStats counts allocator events.
@@ -72,7 +79,7 @@ func NewNormalZone(name string, base, size int64) *Zone {
 	mustPageAligned(base, size)
 	return &Zone{
 		Name: name, Kind: ZoneNormal, Base: base, Size: size,
-		allocated: make(map[int64]bool),
+		allocated: make([]uint64, pageBitmapWords(size)),
 	}
 }
 
@@ -88,8 +95,35 @@ func NewNetDIMMZone(name string, base, size int64) *Zone {
 		Name: name, Kind: ZoneNetDIMM, Base: base, Size: size,
 		buckets:   make([]subBucket, ranks*addrmap.SubarraysPerRank),
 		ranks:     ranks,
-		allocated: make(map[int64]bool),
+		allocated: make([]uint64, pageBitmapWords(size)),
 	}
+}
+
+// pageBitmapWords sizes the allocation bitmap: one bit per page, rounded
+// up to whole 64-bit words.
+func pageBitmapWords(size int64) int64 {
+	return (size/addrmap.PageSize + 63) / 64
+}
+
+// pageBit locates a page's bitmap word and mask. The address must lie in
+// the zone and be page aligned (callers validate both).
+func (z *Zone) pageBit(addr int64) (word int64, mask uint64) {
+	page := (addr - z.Base) / addrmap.PageSize
+	return page / 64, 1 << uint(page%64)
+}
+
+func (z *Zone) isAllocated(addr int64) bool {
+	w, m := z.pageBit(addr)
+	return z.allocated[w]&m != 0
+}
+
+// markAllocated sets the page's bit; AllocPageHint and the allocCache
+// prefill share it so allocation accounting has one authority.
+func (z *Zone) markAllocated(addr int64) {
+	w, m := z.pageBit(addr)
+	z.allocated[w] |= m
+	z.allocCount++
+	z.stats.Allocs++
 }
 
 func mustPageAligned(base, size int64) {
@@ -106,7 +140,7 @@ func (z *Zone) Contains(phys int64) bool { return phys >= z.Base && phys < z.Bas
 
 // FreePages returns the number of currently unallocated pages.
 func (z *Zone) FreePages() int64 {
-	return z.Size/addrmap.PageSize - int64(len(z.allocated))
+	return z.Size/addrmap.PageSize - z.allocCount
 }
 
 // AllocPage allocates one page with no affinity requirement. It returns the
@@ -145,8 +179,7 @@ func (z *Zone) AllocPageHint(hint int64) (int64, error) {
 		z.stats.Failures++
 		return 0, fmt.Errorf("kalloc: zone %s exhausted", z.Name)
 	}
-	z.allocated[addr] = true
-	z.stats.Allocs++
+	z.markAllocated(addr)
 	return addr, nil
 }
 
@@ -214,10 +247,12 @@ func (z *Zone) FreePage(addr int64) error {
 	if addr%addrmap.PageSize != 0 {
 		return fmt.Errorf("kalloc: freeing unaligned address %#x", addr)
 	}
-	if !z.allocated[addr] {
+	if !z.isAllocated(addr) {
 		return fmt.Errorf("kalloc: double free of %#x in zone %s", addr, z.Name)
 	}
-	delete(z.allocated, addr)
+	w, m := z.pageBit(addr)
+	z.allocated[w] &^= m
+	z.allocCount--
 	z.stats.Frees++
 	switch z.Kind {
 	case ZoneNormal:

@@ -19,6 +19,7 @@ import (
 	"netdimm/internal/dram"
 	"netdimm/internal/driver"
 	"netdimm/internal/ethernet"
+	"netdimm/internal/fabric"
 	"netdimm/internal/fault"
 	"netdimm/internal/memctrl"
 	"netdimm/internal/nic"
@@ -40,6 +41,10 @@ type ObsSpec = obs.Spec
 // LoadSpec is the load-generation block of a specification; it aliases
 // workload.LoadSpec for the same direct-conversion reason as FaultSpec.
 type LoadSpec = workload.LoadSpec
+
+// FabricSpec is the network-topology block of a specification; it aliases
+// fabric.Spec for the same direct-conversion reason as FaultSpec.
+type FabricSpec = fabric.Spec
 
 // Spec is the full simulated-system specification. Its fields mirror the
 // root netdimm.Config exactly (same names, types and order), so the two
@@ -78,6 +83,11 @@ type Spec struct {
 	// cluster distribution, arrival process, port buffering); the zero
 	// value selects the sweep defaults and affects no other experiment.
 	Load LoadSpec
+	// Fabric shapes the switched network topology (leaf/spine clos shape,
+	// ECMP seed, ECN congestion signal); the zero value is the degenerate
+	// single-switch fabric every pre-fabric experiment built, changing no
+	// output.
+	Fabric FabricSpec
 }
 
 // TableOne returns the paper's Table 1 specification.
@@ -156,6 +166,9 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("spec: %w", err)
 	}
 	if err := s.Load.Validate(); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if err := s.Fabric.Validate(); err != nil {
 		return fmt.Errorf("spec: %w", err)
 	}
 	return nil
@@ -290,10 +303,19 @@ func (d *Derived) ShardLookahead() sim.Time {
 	return d.SwitchLatency
 }
 
-// Fabric builds a clos fabric over the derived link with the given switch
-// latency (use d.SwitchLatency for the specification's own value).
+// Fabric builds an analytic clos fabric over the derived link with the
+// given switch latency (use d.SwitchLatency for the specification's own
+// value).
 func (d *Derived) Fabric(switchLatency sim.Time) ethernet.Fabric {
 	return ethernet.NewFabricWith(d.Link, switchLatency)
+}
+
+// NewTopology builds the event-driven switched topology of the Fabric
+// block — hosts' uplink ports, leaf and spine switches with per-hop
+// output queues — over the derived link and switch latency, placed onto
+// engines by p.
+func (d *Derived) NewTopology(p fabric.Placement, hosts, portBuffer int) *fabric.Topology {
+	return fabric.New(p, d.Link, d.SwitchLatency, d.Spec.Fabric, hosts, portBuffer)
 }
 
 // NewDNIC builds a discrete-NIC endpoint on the derived PCIe link.

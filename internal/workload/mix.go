@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+
+	"netdimm/internal/ethernet"
+	"netdimm/internal/fabric"
+	"netdimm/internal/sim"
+)
+
+// This file is the cross-rack traffic mix: it maps each packet's sampled
+// flow locality (the paper's per-cluster characterisation) onto a concrete
+// destination host in a racked topology. IntraRack and IntraCluster flows
+// stay inside the source's rack; IntraDatacenter and InterDatacenter flows
+// cross the spine layer to another rack. The rack assignment is
+// fabric.LeafOf's contiguous-block split, so "same rack" here is exactly
+// "same leaf" in the fabric the experiment builds — the destination mix
+// and the topology can never disagree about what crosses a spine.
+//
+// Under the published localities this gives each cluster a distinct spine
+// pressure: database traffic is ~90% cross-rack, webserver ~85%, hadoop
+// only ~10% — the spread the racksweep experiment sweeps racks over.
+
+// CrossRack reports whether a flow of the given locality leaves its
+// source's rack (and therefore crosses the spine layer).
+func CrossRack(lo ethernet.Locality) bool {
+	return lo == ethernet.IntraDatacenter || lo == ethernet.InterDatacenter
+}
+
+// SampleDest draws a uniform destination host for one packet sent by src
+// with the given locality, over `hosts` hosts split into `racks` racks.
+// The draw consumes exactly one value from r per call, never returns src,
+// and degrades gracefully: a locality with no eligible destination (a
+// one-host rack for an intra-rack flow, or a single rack for a cross-rack
+// flow) falls back to a uniform draw over all other hosts.
+func SampleDest(r *sim.Rand, lo ethernet.Locality, src, hosts, racks int) int {
+	if hosts < 2 {
+		panic(fmt.Sprintf("workload: cannot pick a destination among %d hosts", hosts))
+	}
+	if src < 0 || src >= hosts {
+		panic(fmt.Sprintf("workload: source %d outside [0,%d)", src, hosts))
+	}
+	rlo, rhi := fabric.RackBounds(src, hosts, racks)
+	rackSize := rhi - rlo
+	if CrossRack(lo) && hosts > rackSize {
+		// Uniform over hosts outside [rlo, rhi): draw an index into the
+		// complement and shift it past the rack.
+		k := r.Intn(hosts - rackSize)
+		if k >= rlo {
+			k += rackSize
+		}
+		return k
+	}
+	if rackSize > 1 {
+		// Uniform inside the rack, excluding src.
+		k := rlo + r.Intn(rackSize-1)
+		if k >= src {
+			k++
+		}
+		return k
+	}
+	// No rack-mate exists: any other host.
+	k := r.Intn(hosts - 1)
+	if k >= src {
+		k++
+	}
+	return k
+}

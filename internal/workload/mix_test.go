@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"netdimm/internal/ethernet"
+	"netdimm/internal/fabric"
+	"netdimm/internal/sim"
+)
+
+func TestSampleDestRespectsLocality(t *testing.T) {
+	r := sim.NewRand(1)
+	const hosts, racks = 16, 4
+	for src := 0; src < hosts; src++ {
+		for i := 0; i < 200; i++ {
+			in := SampleDest(r, ethernet.IntraRack, src, hosts, racks)
+			if in == src {
+				t.Fatalf("intra-rack dest == src %d", src)
+			}
+			if fabric.LeafOf(in, hosts, racks) != fabric.LeafOf(src, hosts, racks) {
+				t.Fatalf("intra-rack dest %d left rack of %d", in, src)
+			}
+			out := SampleDest(r, ethernet.InterDatacenter, src, hosts, racks)
+			if fabric.LeafOf(out, hosts, racks) == fabric.LeafOf(src, hosts, racks) {
+				t.Fatalf("cross-rack dest %d stayed in rack of %d", out, src)
+			}
+		}
+	}
+}
+
+func TestSampleDestCoversAllCandidates(t *testing.T) {
+	r := sim.NewRand(2)
+	const hosts, racks = 8, 2
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		seen[SampleDest(r, ethernet.IntraCluster, 0, hosts, racks)] = true
+		seen[SampleDest(r, ethernet.IntraDatacenter, 0, hosts, racks)] = true
+	}
+	// Host 0's rack is [0,4): intra reaches 1..3, cross reaches 4..7.
+	for d := 1; d < hosts; d++ {
+		if !seen[d] {
+			t.Fatalf("destination %d never drawn", d)
+		}
+	}
+	if seen[0] {
+		t.Fatal("src drawn as its own destination")
+	}
+}
+
+func TestSampleDestFallbacks(t *testing.T) {
+	r := sim.NewRand(3)
+	// Single rack: a cross-rack flow has nowhere to go — uniform other host.
+	for i := 0; i < 50; i++ {
+		d := SampleDest(r, ethernet.InterDatacenter, 1, 4, 1)
+		if d == 1 || d < 0 || d >= 4 {
+			t.Fatalf("single-rack fallback drew %d", d)
+		}
+	}
+	// One-host racks: an intra-rack flow must leave anyway.
+	for i := 0; i < 50; i++ {
+		d := SampleDest(r, ethernet.IntraRack, 2, 4, 4)
+		if d == 2 || d < 0 || d >= 4 {
+			t.Fatalf("one-host-rack fallback drew %d", d)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hosts=1 accepted")
+		}
+	}()
+	SampleDest(r, ethernet.IntraRack, 0, 1, 1)
+}
+
+// The documented cross-rack shares: database ~90%, webserver ~85%,
+// hadoop ~10% (loose bounds — these are distribution properties, not
+// golden values).
+func TestClusterCrossRackShares(t *testing.T) {
+	shares := map[Cluster][2]float64{
+		Database:  {0.80, 1.00},
+		Webserver: {0.75, 0.95},
+		Hadoop:    {0.02, 0.25},
+	}
+	for c, bounds := range shares {
+		r := sim.NewRand(7)
+		cross := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			if CrossRack(c.SampleLocality(r)) {
+				cross++
+			}
+		}
+		got := float64(cross) / n
+		if got < bounds[0] || got > bounds[1] {
+			t.Fatalf("%v cross-rack share %.3f outside [%.2f, %.2f]", c, got, bounds[0], bounds[1])
+		}
+	}
+}

@@ -153,3 +153,51 @@ func TestScenarioFig11Ordering(t *testing.T) {
 		})
 	}
 }
+
+// Every scenario file shipped in scenarios/ must load and validate — they
+// are the documented -scenario entry points.
+func TestCommittedScenarioFiles(t *testing.T) {
+	paths, err := filepath.Glob("scenarios/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed scenario files found")
+	}
+	for _, path := range paths {
+		if _, err := LoadScenario(path); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}
+
+// The clos scenario pins the fabric shape: a rack sweep driven by it must
+// run exactly one rack count (4 leaves) with the file's ECN tuning on its
+// marking cells.
+func TestClosScenarioDrivesRackSweep(t *testing.T) {
+	cfg, err := LoadScenario(filepath.Join("scenarios", "clos-2x4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fabric.Leaves != 4 || cfg.Fabric.Spines != 2 {
+		t.Fatalf("fabric block = %+v, want 4 leaves x 2 spines", cfg.Fabric)
+	}
+	if cfg.Load.Hosts != 32 {
+		t.Fatalf("Load.Hosts = %d, want 32", cfg.Load.Hosts)
+	}
+	rows, knees, err := RunRackSweepWithConfig(cfg, nil, []float64{0.1}, 320, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 3 archs x 1 pinned rack count x ECN off/on
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Racks != 4 {
+			t.Errorf("%s: racks = %d, want pinned 4", r.Arch, r.Racks)
+		}
+	}
+	if len(knees) != 6 {
+		t.Errorf("got %d knees, want 6", len(knees))
+	}
+}
