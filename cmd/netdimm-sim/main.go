@@ -6,9 +6,9 @@
 //	netdimm-sim [flags] <experiment>
 //
 // Experiments: table1, fig4, fig5, fig7, fig11, fig12a, fig12b, faultsweep,
-// headline, all. The -scenario flag selects the simulated system: a named
-// preset (table1, ddr5, pcie-gen3, multi-netdimm-4, lossy-1pct) or a JSON
-// config file.
+// loadsweep, racksweep, failsweep, headline, all. The -scenario flag selects
+// the simulated system: a named preset (table1, ddr5, pcie-gen3,
+// multi-netdimm-4, lossy-1pct) or a JSON config file.
 package main
 
 import (
@@ -24,20 +24,21 @@ import (
 )
 
 var (
-	packets   = flag.Int("n", 1000, "packets per trace-replay cell (fig12a, headline)")
-	switchLat = flag.Duration("switch", 100*time.Nanosecond, "switch port-to-port latency (fig4, fig11)")
-	seed      = flag.Uint64("seed", 3, "trace generator seed")
-	asCSV     = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (fig4, fig5, fig7, fig11, fig12a, fig12b)")
-	parallel  = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = all cores, 1 = sequential, N = at most N")
-	scenario  = flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
-	lossRates = flag.String("loss", "", "comma-separated frame-loss rates for faultsweep (default 0,0.001,0.01,0.05,0.1,0.2)")
-	loadRates = flag.String("rate", "", "comma-separated offered loads (fractions of line rate) for loadsweep (default a grid bracketing each knee)")
-	hosts     = flag.Int("hosts", 0, "sender hosts for loadsweep (0 = scenario value or 8) and racksweep (0 = scenario value or 256)")
-	shards    = flag.Int("shards", 0, "engine shards per loadsweep/racksweep cell: hosts spread over shards, results identical at any count (0 = scenario value or single-engine)")
-	rackList  = flag.String("racks", "", "comma-separated rack (leaf) counts for racksweep (default 2,4,8; a scenario Fabric.Leaves pins one)")
-	cluster   = flag.String("cluster", "", "traffic distribution for loadsweep: database, webserver or hadoop (default scenario value or database)")
-	traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (fig11, faultsweep, mixed); open in ui.perfetto.dev")
-	metrics   = flag.Bool("metrics", false, "collect and print the metrics registry after the experiment output (fig11, faultsweep, mixed)")
+	packets    = flag.Int("n", 1000, "packets per trace-replay cell (fig12a, headline)")
+	switchLat  = flag.Duration("switch", 100*time.Nanosecond, "switch port-to-port latency (fig4, fig11)")
+	seed       = flag.Uint64("seed", 3, "trace generator seed")
+	asCSV      = flag.Bool("csv", false, "emit plot-ready CSV instead of tables (fig4, fig5, fig7, fig11, fig12a, fig12b)")
+	parallel   = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = all cores, 1 = sequential, N = at most N")
+	scenario   = flag.String("scenario", "", "system to simulate: a preset name or a JSON config file (default table1)")
+	lossRates  = flag.String("loss", "", "comma-separated frame-loss rates for faultsweep (default 0,0.001,0.01,0.05,0.1,0.2)")
+	loadRates  = flag.String("rate", "", "comma-separated offered loads (fractions of line rate) for loadsweep (default a grid bracketing each knee)")
+	hosts      = flag.Int("hosts", 0, "sender hosts for loadsweep (0 = scenario value or 8) and racksweep (0 = scenario value or 256)")
+	shards     = flag.Int("shards", 0, "engine shards per loadsweep/racksweep cell: hosts spread over shards, results identical at any count (0 = scenario value or single-engine)")
+	rackList   = flag.String("racks", "", "comma-separated rack (leaf) counts for racksweep (default 2,4,8; a scenario Fabric.Leaves pins one)")
+	outageList = flag.String("outage", "", "comma-separated spine-outage durations for failsweep, Go duration syntax (default 0,5µs,20µs,60µs; 0 is the baseline)")
+	cluster    = flag.String("cluster", "", "traffic distribution for loadsweep: database, webserver or hadoop (default scenario value or database)")
+	traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (fig11, faultsweep, mixed); open in ui.perfetto.dev")
+	metrics    = flag.Bool("metrics", false, "collect and print the metrics registry after the experiment output (fig11, faultsweep, mixed)")
 )
 
 // obsConfig arms cfg.Obs from the -trace / -metrics flags; with neither
@@ -119,6 +120,7 @@ var commands = []command{
 	{"faultsweep", "one-way latency vs injected frame loss, with retransmit recovery", false, runFaultSweep},
 	{"loadsweep", "rack-scale incast: latency vs offered load, with saturation knees", false, runLoadSweep},
 	{"racksweep", "leaf/spine clos: latency vs load across rack counts, ECN on/off", false, runRackSweep},
+	{"failsweep", "scheduled spine outage: ECMP failover, ARQ recovery time, tail inflation", false, runFailSweep},
 	{"headline", "the abstract's summary numbers", true, runHeadline},
 	{"bench", "machine-readable benchmark report (JSON; see -benchn)", false, func(netdimm.Config) error { return runBench() }},
 }
@@ -639,6 +641,92 @@ func runRackSweep(cfg netdimm.Config) error {
 		}
 		fmt.Printf("  %-8s racks=%d ecn=%-3s %s %g of line rate\n",
 			k.Arch, k.Racks, ecnStr(k.ECN), state, k.Knee)
+	}
+	return nil
+}
+
+// parseOutages parses the -outage flag; an empty flag selects the default
+// duration grid. "0" is accepted alongside full duration syntax.
+func parseOutages(s string) ([]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var outs []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "0" {
+			outs = append(outs, 0)
+			continue
+		}
+		d, err := time.ParseDuration(part)
+		if err != nil {
+			return nil, fmt.Errorf("failsweep: bad outage duration %q: %v", part, err)
+		}
+		outs = append(outs, d)
+	}
+	return outs, nil
+}
+
+func runFailSweep(cfg netdimm.Config) error {
+	outages, err := parseOutages(*outageList)
+	if err != nil {
+		return err
+	}
+	if *hosts != 0 {
+		cfg.Load.Hosts = *hosts
+	}
+	if *cluster != "" {
+		cfg.Load.Cluster = *cluster
+	}
+	if *shards != 0 {
+		cfg.Load.Shards = *shards
+	}
+	// Like racksweep: the -n default suits single-switch cells; unless -n
+	// was given explicitly, pass 0 so the sweep's own default applies.
+	n := 0
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "n" {
+			n = *packets
+		}
+	})
+	rows, ob, err := netdimm.RunFailSweepObserved(obsConfig(cfg), outages, n, *seed, *parallel)
+	if err != nil {
+		return err
+	}
+	defer emitObservation(ob)
+	if *asCSV {
+		csvOut("arch", "outage_ns", "delivered", "failed", "dropped",
+			"outage_drops", "burst_drops", "rerouted", "retransmits", "recovered",
+			"reroute_ns", "mean_recovery_ns", "during_offered", "during_delivered",
+			"p99_before_ns", "p99_during_ns", "p99_after_ns", "p999_after_ns", "tail_inflation")
+		for _, r := range rows {
+			csvOut(r.Arch, fmt.Sprint(r.Outage.Nanoseconds()),
+				fmt.Sprint(r.Delivered), fmt.Sprint(r.Failed), fmt.Sprint(r.Dropped),
+				fmt.Sprint(r.OutageDrops), fmt.Sprint(r.BurstDrops),
+				fmt.Sprint(r.Rerouted), fmt.Sprint(r.Retransmits), fmt.Sprint(r.Recovered),
+				fmt.Sprint(r.TimeToReroute.Nanoseconds()), fmt.Sprint(r.MeanRecovery.Nanoseconds()),
+				fmt.Sprint(r.DuringOffered), fmt.Sprint(r.DuringDelivered),
+				fmt.Sprint(r.P99Before.Nanoseconds()), fmt.Sprint(r.P99During.Nanoseconds()),
+				fmt.Sprint(r.P99After.Nanoseconds()), fmt.Sprint(r.P999After.Nanoseconds()),
+				fmt.Sprintf("%.3f", r.TailInflation))
+		}
+		return nil
+	}
+	fmt.Println("Failure sweep — scheduled spine outage: failover, recovery, tail inflation")
+	fmt.Printf("%-8s  %7s  %9s  %7s  %8s  %8s  %7s  %9s  %10s  %10s  %10s  %9s\n",
+		"arch", "outage", "delivered", "dropped", "rerouted", "retrans", "recov", "reroute", "mean recov", "p99 before", "p99 after", "inflation")
+	for _, r := range rows {
+		reroute := "-"
+		if r.TimeToReroute >= 0 {
+			reroute = r.TimeToReroute.String()
+		}
+		inflation := "-"
+		if r.TailInflation > 0 {
+			inflation = fmt.Sprintf("%.2fx", r.TailInflation)
+		}
+		fmt.Printf("%-8s  %7v  %9d  %7d  %8d  %8d  %7d  %9s  %10v  %10v  %10v  %9s\n",
+			r.Arch, r.Outage, r.Delivered, r.Dropped, r.Rerouted, r.Retransmits, r.Recovered,
+			reroute, r.MeanRecovery, r.P99Before, r.P99After, inflation)
 	}
 	return nil
 }

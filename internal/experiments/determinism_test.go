@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"netdimm/internal/fault"
 	"netdimm/internal/netfunc"
 	"netdimm/internal/obs"
 	"netdimm/internal/sim"
@@ -69,6 +70,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 			cfg.Packets = 240
 			rows, knees, err := RackSweep(sp, []int{2}, []float64{0.1, 0.5}, cfg, p)
 			return []any{rows, knees}, err
+		}},
+		{"FailSweep", func(p int) (any, error) {
+			sp := spec.TableOne()
+			sp.Load.Hosts = 12
+			cfg := DefaultFailSweepConfig()
+			cfg.Packets = 240
+			return FailSweep(sp, []sim.Time{0, 20 * sim.Microsecond}, cfg, p)
 		}},
 		{"FaultSweep", func(p int) (any, error) {
 			sp := spec.TableOne()
@@ -164,6 +172,51 @@ func TestLoadSweepShardedDeterminism(t *testing.T) {
 // 2 or 4 shards must still be byte-identical — the host→fabric crossings,
 // the fabric→host mark echoes and every per-host tally are confined to
 // deterministic channel windows.
+// TestFailSweepShardedDeterminism is the failure plane's determinism
+// contract: outage flips, health-aware ECMP, burst loss and ARQ
+// retransmit timers partitioned across 1, 2 or 4 shards must still be
+// byte-identical — the health view lives wholly on the fabric shard,
+// per-host link outages wholly on their host shards, and the ack echoes
+// ride the same deterministic channel windows as ECN marks.
+func TestFailSweepShardedDeterminism(t *testing.T) {
+	run := func(shards int) ([]FailRow, string) {
+		t.Helper()
+		sp := spec.TableOne()
+		sp.Load.Hosts = 12
+		sp.Load.Shards = shards
+		sp.Fault.Failure.Burst = fault.Burst{
+			GoodLossProb: 0.001, BadLossProb: 0.2, GoodToBad: 0.02, BadToGood: 0.2,
+		}
+		cfg := DefaultFailSweepConfig()
+		cfg.Packets = 240
+		rows, o, err := FailSweepObserved(sp, []sim.Time{0, 20 * sim.Microsecond}, cfg, 2,
+			obs.Spec{Metrics: true})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return rows, o.MetricsCSV()
+	}
+	rows1, csv1 := run(1)
+	rerouted := false
+	for _, r := range rows1 {
+		if r.Rerouted > 0 {
+			rerouted = true
+		}
+	}
+	if !rerouted {
+		t.Error("no cell rerouted any frame; the failover path is not being exercised")
+	}
+	for _, shards := range []int{2, 4} {
+		rows, csv := run(shards)
+		if !reflect.DeepEqual(rows, rows1) {
+			t.Errorf("shards=%d rows diverged from shards=1", shards)
+		}
+		if csv != csv1 {
+			t.Errorf("shards=%d metrics CSV diverged from shards=1", shards)
+		}
+	}
+}
+
 func TestRackSweepShardedDeterminism(t *testing.T) {
 	run := func(shards int) ([]RackRow, []RackKnee, string) {
 		t.Helper()

@@ -360,6 +360,9 @@ func loadCell(sp spec.Spec, arch string, load float64, shape loadShape, cfg Load
 	if d.Spec.Fault.PortDropProb > 0 {
 		topo.InjectFaults(fault.NewInjector(d.Spec.Fault, cfg.Seed))
 	}
+	if _, err := topo.ArmFailures(d.Spec.Fault.Failure, cfg.Seed); err != nil {
+		return LoadRow{}, err
+	}
 	egPort := topo.Downlink(rcv)
 	if rig.sharded() {
 		// Far side of the crossing: the depth is read on the fabric shard
@@ -441,7 +444,7 @@ func loadCell(sp spec.Spec, arch string, load float64, shape loadShape, cfg Load
 
 	fstats := topo.Stats()
 	egStats := egPort.Stats()
-	dropped := int(fstats.Dropped)
+	dropped := int(fstats.Dropped + fstats.OutageDrops + fstats.BurstDrops)
 	for _, n := range hostDrops {
 		dropped += n
 	}

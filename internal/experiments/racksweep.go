@@ -326,6 +326,9 @@ func rackCell(sp spec.Spec, arch string, load float64, shape loadShape, cfg Rack
 	if d.Spec.Fault.PortDropProb > 0 {
 		topo.InjectFaults(fault.NewInjector(d.Spec.Fault, cfg.Seed))
 	}
+	if _, err := topo.ArmFailures(d.Spec.Fault.Failure, cfg.Seed); err != nil {
+		return RackRow{}, err
+	}
 	ecn := topo.Spec().ECNThreshold > 0
 
 	// Every host receives: one RX driver queue per host, all on the fabric
@@ -410,7 +413,7 @@ func rackCell(sp spec.Spec, arch string, load float64, shape loadShape, cfg Rack
 	}
 
 	fstats := topo.Stats()
-	dropped := int(fstats.Dropped)
+	dropped := int(fstats.Dropped + fstats.OutageDrops + fstats.BurstDrops)
 	for _, n := range hostDrops {
 		dropped += n
 	}

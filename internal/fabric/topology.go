@@ -63,6 +63,18 @@ type Topology struct {
 	leaves  []*ethernet.SwitchNode
 	spines  []*ethernet.SwitchNode
 
+	// Failure plane, armed by ArmFailures; all nil/empty when no schedule
+	// is armed so the default path is untouched. health and burst live on
+	// the fabric engine; the link-outage state is per host and only ever
+	// touched from that host's engine (linkOut flips by scheduled events
+	// there, linkDrops/linkFlips increments in Inject), so a sharded cell
+	// never crosses shards through it.
+	health    *Health
+	burst     *fault.GilbertElliott
+	linkOut   []bool
+	linkDrops []uint64
+	linkFlips []uint64
+
 	// OnUplinkDeliver, when set, runs on host src's engine the moment its
 	// uplink delivers a frame toward the fabric (before the switch-latency
 	// crossing). OnFabricIngress runs on the fabric engine just after the
@@ -158,13 +170,33 @@ func (t *Topology) Downlink(h int) *ethernet.Port {
 	return t.leaves[l].Port(t.downIdx(l, h))
 }
 
-// SpineFor returns the spine the ECMP hash pins for the (src, dst) flow.
-// It panics on a spineless fabric (no cross-leaf path exists to choose).
+// SpineFor returns the spine the (src, dst) flow currently routes over:
+// the ECMP hash's pick, unless a failure schedule is armed and that
+// spine's path is down — then the hash re-rolls over the surviving
+// uplinks (failover), or the degraded single path when none survive. It
+// panics on a spineless fabric (no cross-leaf path exists to choose).
 func (t *Topology) SpineFor(src, dst int) int {
 	if len(t.spines) == 0 {
 		panic("fabric: no spines to hash over")
 	}
-	return int(FlowHash(uint64(src), uint64(dst), t.spec.Seed) % uint64(len(t.spines)))
+	h := FlowHash(uint64(src), uint64(dst), t.spec.Seed)
+	primary := int(h % uint64(len(t.spines)))
+	if t.health == nil {
+		return primary
+	}
+	s, _, _ := t.health.spineFor(t.LeafOf(src), primary, h)
+	return s
+}
+
+// routeSpine is SpineFor with failover accounting — the per-frame routing
+// decision, called on the fabric engine only.
+func (t *Topology) routeSpine(sl, src, dst int) int {
+	h := FlowHash(uint64(src), uint64(dst), t.spec.Seed)
+	primary := int(h % uint64(len(t.spines)))
+	if t.health == nil {
+		return primary
+	}
+	return t.health.route(sl, primary, h, t.place.Fabric.Now())
 }
 
 // CrossesSpine reports whether src→dst traffic leaves its leaf.
@@ -181,6 +213,13 @@ func (t *Topology) CrossesSpine(src, dst int) bool {
 func (t *Topology) Inject(src, dst int, f ethernet.Frame, delivered func(ethernet.Frame)) bool {
 	if dst < 0 || dst >= t.hosts {
 		panic(fmt.Sprintf("fabric: no host %d", dst))
+	}
+	if t.linkOut != nil && t.linkOut[src] {
+		// The sender's uplink cable is down: the frame is lost at the NIC,
+		// reported like a tail drop (the sender's ARQ timer is what
+		// discovers it either way).
+		t.linkDrops[src]++
+		return false
 	}
 	return t.uplinks[src].Send(f, func(fr ethernet.Frame) {
 		if t.OnUplinkDeliver != nil {
@@ -205,13 +244,37 @@ func (t *Topology) Inject(src, dst int, f ethernet.Frame, delivered func(etherne
 // destination leaf's latency into the final downlink.
 func (t *Topology) fromLeaf(src, dst int, f ethernet.Frame, delivered func(ethernet.Frame)) {
 	sl, dl := t.LeafOf(src), t.LeafOf(dst)
+	if t.burst != nil && t.burst.Lose() {
+		return // Gilbert–Elliott ingress loss; the process keeps the tally
+	}
+	if t.health != nil && !t.health.LeafUp(sl) {
+		t.health.stats.OutageDrops++
+		return
+	}
 	if sl == dl {
 		t.leaves[sl].Port(t.downIdx(sl, dst)).Send(f, delivered)
 		return
 	}
-	sp := t.SpineFor(src, dst)
+	sp := t.routeSpine(sl, src, dst)
+	if t.health != nil && !t.health.TrunkUp(sl, sp) {
+		// Dead cable out of the leaf: only degraded-mode frames land here
+		// (failover never picks a dead trunk), and they drop at once.
+		t.health.stats.OutageDrops++
+		return
+	}
 	t.leaves[sl].Port(sp).Send(f, func(fr ethernet.Frame) {
+		// The frame has crossed the leaf→spine wire; a spine that is — or
+		// went, mid-flight — down eats it here. Recovering those frames is
+		// exactly what the sender's retransmit timer exists for.
+		if t.health != nil && !t.health.SpineUp(sp) {
+			t.health.stats.OutageDrops++
+			return
+		}
 		t.spines[sp].Forward(dl, fr, func(fr2 ethernet.Frame) {
+			if t.health != nil && (!t.health.LeafUp(dl) || !t.health.TrunkUp(dl, sp)) {
+				t.health.stats.OutageDrops++
+				return
+			}
 			t.leaves[dl].Forward(t.downIdx(dl, dst), fr2, delivered)
 		})
 	})
@@ -240,6 +303,94 @@ func (t *Topology) InjectFaults(inj *fault.Injector) {
 	}
 }
 
+// ArmFailures arms a failure schedule on the topology: every outage
+// window becomes a pair of scheduled events flipping the element's down
+// depth at the window bounds (spine/leaf/trunk flips on the fabric
+// engine, link flips on the owning host's engine), and an enabled Burst
+// becomes a Gilbert–Elliott process consulted once per fabric-ingress
+// frame. The returned Health view is what ECMP consults from then on; it
+// is nil for a schedule with no spine/leaf/trunk outages (link outages
+// are sender-local state and arm no fabric view), and the topology is
+// entirely untouched by a zero schedule. An outage naming an element
+// outside this topology is an error.
+//
+// seed is the cell seed; the burst stream is derived from it and the
+// schedule's own Seed the way injector streams are.
+func (t *Topology) ArmFailures(sched fault.Schedule, seed uint64) (*Health, error) {
+	if err := sched.Validate(); err != nil {
+		return nil, err
+	}
+	for i, o := range sched.Outages {
+		var ok bool
+		switch o.Kind {
+		case fault.OutageLink:
+			ok = o.Index < t.hosts
+		case fault.OutageSpine:
+			ok = o.Index < len(t.spines)
+		case fault.OutageLeaf:
+			ok = o.Index < len(t.leaves)
+		case fault.OutageTrunk:
+			ok = o.Leaf < len(t.leaves) && o.Index < len(t.spines)
+		}
+		if !ok {
+			return nil, fmt.Errorf("fabric: Outages[%d] (%v) names no element of this %d-leaf/%d-spine/%d-host topology",
+				i, o, len(t.leaves), len(t.spines), t.hosts)
+		}
+	}
+	for _, o := range sched.Outages {
+		// Link outages are sender-local state; only fabric-element outages
+		// need the health view ECMP consults.
+		if o.Kind != fault.OutageLink && t.health == nil {
+			t.health = newHealth(len(t.leaves), len(t.spines))
+		}
+	}
+	for _, o := range sched.Outages {
+		o := o
+		start, end := o.Window()
+		switch o.Kind {
+		case fault.OutageLink:
+			if t.linkOut == nil {
+				t.linkOut = make([]bool, t.hosts)
+				t.linkDrops = make([]uint64, t.hosts)
+				t.linkFlips = make([]uint64, t.hosts)
+			}
+			eng := t.place.Host(o.Index)
+			eng.At(start, func() { t.linkOut[o.Index] = true; t.linkFlips[o.Index]++ })
+			eng.At(end, func() { t.linkOut[o.Index] = false; t.linkFlips[o.Index]++ })
+		case fault.OutageSpine:
+			t.place.Fabric.At(start, func() { t.health.shiftSpine(o.Index, 1) })
+			t.place.Fabric.At(end, func() { t.health.shiftSpine(o.Index, -1) })
+		case fault.OutageLeaf:
+			t.place.Fabric.At(start, func() { t.health.shiftLeaf(o.Index, 1) })
+			t.place.Fabric.At(end, func() { t.health.shiftLeaf(o.Index, -1) })
+		case fault.OutageTrunk:
+			t.place.Fabric.At(start, func() { t.health.shiftTrunk(o.Leaf, o.Index, 1) })
+			t.place.Fabric.At(end, func() { t.health.shiftTrunk(o.Leaf, o.Index, -1) })
+		}
+	}
+	if sched.Burst.Enabled() {
+		t.burst = fault.NewGilbertElliott(sched.Burst, seed^(sched.Seed*0x9e3779b97f4a7c15))
+	}
+	return t.health, nil
+}
+
+// Health returns the armed failure-state view, or nil when ArmFailures
+// scheduled no outages.
+func (t *Topology) Health() *Health { return t.health }
+
+// PerSpineForwarded returns each spine's total forwarded-frame count in
+// spine order — the per-spine view of an ECMP failover: an outage shifts
+// counts off the down spine onto the survivors.
+func (t *Topology) PerSpineForwarded() []uint64 {
+	out := make([]uint64, len(t.spines))
+	for i, sp := range t.spines {
+		for p := 0; p < sp.Ports(); p++ {
+			out[i] += sp.Port(p).Stats().Forwarded
+		}
+	}
+	return out
+}
+
 // Stats aggregates the per-port counters of every switch hop.
 type Stats struct {
 	// Forwarded, Dropped and Marked sum over every leaf and spine port.
@@ -250,6 +401,19 @@ type Stats struct {
 	// respective layer's ports.
 	LeafMaxDepth  int
 	SpineMaxDepth int
+	// Failure-plane tallies, all zero unless ArmFailures armed a
+	// schedule. OutageDrops counts frames eaten by a down spine, leaf or
+	// trunk; BurstDrops frames lost to the Gilbert–Elliott ingress
+	// process; LinkDrops frames refused by a downed host uplink;
+	// Rerouted frames steered off their ECMP-primary spine; Degraded
+	// frames forced onto the single-path fallback; Transitions the outage
+	// state flips applied across every layer.
+	OutageDrops uint64
+	BurstDrops  uint64
+	LinkDrops   uint64
+	Rerouted    uint64
+	Degraded    uint64
+	Transitions uint64
 }
 
 // Stats sums the switch-port statistics across the fabric. Host uplink
@@ -278,6 +442,20 @@ func (t *Topology) Stats() Stats {
 				out.SpineMaxDepth = s.MaxDepth
 			}
 		}
+	}
+	if t.health != nil {
+		hs := t.health.Stats()
+		out.OutageDrops = hs.OutageDrops
+		out.Rerouted = hs.Rerouted
+		out.Degraded = hs.Degraded
+		out.Transitions = hs.Transitions
+	}
+	if t.burst != nil {
+		out.BurstDrops = t.burst.Losses
+	}
+	for h, n := range t.linkDrops {
+		out.LinkDrops += n
+		out.Transitions += t.linkFlips[h]
 	}
 	return out
 }

@@ -56,14 +56,19 @@ type Spec struct {
 	MemTimeoutNs int
 	// MemMaxRetries bounds memory-transaction retries; 0 means unlimited.
 	MemMaxRetries int
+	// Failure schedules correlated failures — timed link/switch outage
+	// windows and a Gilbert–Elliott burst-loss process — on top of the
+	// memoryless per-frame probabilities above. The zero value schedules
+	// nothing.
+	Failure Schedule
 	// Seed perturbs every injector stream derived from this spec, so two
 	// scenarios with identical probabilities can still draw different
 	// fault traces.
 	Seed uint64
 }
 
-// Enabled reports whether any fault is injected.
-func (s Spec) Enabled() bool { return s.NetEnabled() || s.MemEnabled() }
+// Enabled reports whether any fault is injected or scheduled.
+func (s Spec) Enabled() bool { return s.NetEnabled() || s.MemEnabled() || s.Failure.Enabled() }
 
 // NetEnabled reports whether any network fault is injected.
 func (s Spec) NetEnabled() bool {
@@ -101,7 +106,7 @@ func (s Spec) Validate() error {
 	case s.RetryCapNs > 0 && s.RetryCapNs < s.RetryBaseNs:
 		return fmt.Errorf("fault: RetryCapNs %d below RetryBaseNs %d", s.RetryCapNs, s.RetryBaseNs)
 	}
-	return nil
+	return s.Failure.Validate()
 }
 
 // String summarises the enabled faults compactly.
@@ -135,6 +140,9 @@ func (s Spec) String() string {
 	}
 	if s.MemEnabled() {
 		add("RDY loss %.2g (timeout %v)", s.MemTimeoutProb, s.MemDeadline())
+	}
+	if s.Failure.Enabled() {
+		add("failures [%s]", s.Failure)
 	}
 	return out
 }
@@ -184,17 +192,26 @@ type Backoff struct {
 	Cap  sim.Time
 }
 
-// Delay returns the backoff before retry number attempt (0-based).
+// Delay returns the backoff before retry number attempt (0-based). The
+// doubling saturates instead of wrapping: a capped policy never exceeds
+// Cap, and an uncapped one pins at sim.MaxTime once doubling would
+// overflow (attempt ~62 at a 1ns base) rather than going negative.
 func (b Backoff) Delay(attempt int) sim.Time {
 	d := b.Base
 	if d <= 0 {
 		d = sim.Nanosecond
 	}
 	for i := 0; i < attempt; i++ {
-		d *= 2
 		if b.Cap > 0 && d >= b.Cap {
 			return b.Cap
 		}
+		if d > sim.MaxTime/2 {
+			if b.Cap > 0 {
+				return b.Cap
+			}
+			return sim.MaxTime
+		}
+		d *= 2
 	}
 	if b.Cap > 0 && d > b.Cap {
 		return b.Cap

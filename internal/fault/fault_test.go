@@ -87,6 +87,87 @@ func TestBackoffDelay(t *testing.T) {
 	}
 }
 
+// Property test over the full attempt range the ARQ can reach: the delay
+// must stay positive, never decrease, respect the cap when one is set,
+// and saturate (rather than wrap negative) without one. Before the
+// saturating rewrite, an uncapped 1µs base overflowed int64 and went
+// negative around attempt 43.
+func TestBackoffDelayProperty(t *testing.T) {
+	backoffs := []Backoff{
+		{},                            // all defaults
+		{Base: sim.Nanosecond},        // uncapped, minimal base
+		{Base: 1000 * sim.Nanosecond}, // uncapped, the NetPolicy default base
+		{Base: sim.Millisecond},       // uncapped, large base
+		{Base: 100 * sim.Nanosecond, Cap: 400 * sim.Nanosecond},
+		{Base: 1000 * sim.Nanosecond, Cap: 16_000 * sim.Nanosecond}, // the NetPolicy default
+		{Base: sim.Second, Cap: sim.Second},                         // cap == base
+	}
+	for _, b := range backoffs {
+		prev := sim.Time(0)
+		for attempt := 0; attempt <= 64; attempt++ {
+			d := b.Delay(attempt)
+			if d <= 0 {
+				t.Fatalf("%+v Delay(%d) = %v, want positive", b, attempt, d)
+			}
+			if d < prev {
+				t.Fatalf("%+v Delay(%d) = %v below Delay(%d) = %v — not monotone", b, attempt, d, attempt-1, prev)
+			}
+			if b.Cap > 0 && d > b.Cap {
+				t.Fatalf("%+v Delay(%d) = %v exceeds cap %v", b, attempt, d, b.Cap)
+			}
+			if d > sim.MaxTime {
+				t.Fatalf("%+v Delay(%d) = %v exceeds sim.MaxTime", b, attempt, d)
+			}
+			prev = d
+		}
+		// Deep into saturation the delay must be pinned, not oscillating.
+		if b.Cap == 0 {
+			if got := b.Delay(64); got != sim.MaxTime {
+				t.Errorf("%+v Delay(64) = %v, want saturation at sim.MaxTime", b, got)
+			}
+		} else if got := b.Delay(64); got != b.Cap {
+			t.Errorf("%+v Delay(64) = %v, want cap %v", b, got, b.Cap)
+		}
+	}
+}
+
+func TestSpecValidateFailure(t *testing.T) {
+	good := Spec{Failure: Schedule{
+		Outages: []Outage{{Kind: OutageSpine, Index: 0, StartNs: 1000, EndNs: 2000}},
+		Burst:   Burst{BadLossProb: 0.5, GoodToBad: 0.01, BadToGood: 0.1},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(valid Failure) = %v, want nil", err)
+	}
+	bad := []Spec{
+		{Failure: Schedule{Outages: []Outage{{Kind: "bogus", EndNs: 1}}}},
+		{Failure: Schedule{Outages: []Outage{{Kind: OutageSpine, StartNs: 5, EndNs: 5}}}},
+		{Failure: Schedule{Burst: Burst{BadLossProb: 2}}},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s.Failure)
+		}
+	}
+}
+
+func TestSpecStringFailure(t *testing.T) {
+	s := Spec{Failure: Schedule{
+		Outages: []Outage{{Kind: OutageSpine, Index: 1, StartNs: 1000, EndNs: 2000}},
+	}}
+	if !s.Enabled() {
+		t.Error("a spec with a failure schedule must be enabled")
+	}
+	str := s.String()
+	if !strings.Contains(str, "failures") || !strings.Contains(str, "spine 1") {
+		t.Errorf("String() = %q, want failure schedule summary", str)
+	}
+	// The schedule must not leak into the summary when disabled.
+	if str := (Spec{DropProb: 0.1}).String(); strings.Contains(str, "failures") {
+		t.Errorf("String() = %q mentions failures without a schedule", str)
+	}
+}
+
 func TestRetryPolicyNextDelay(t *testing.T) {
 	p := RetryPolicy{Backoff: Backoff{Base: 10 * sim.Nanosecond}, MaxRetries: 2}
 	if d, ok := p.NextDelay(0); !ok || d != 10*sim.Nanosecond {

@@ -1,0 +1,206 @@
+package fault
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"netdimm/internal/sim"
+)
+
+func TestOutageValidate(t *testing.T) {
+	good := []Outage{
+		{Kind: OutageLink, Index: 0, StartNs: 0, EndNs: 1},
+		{Kind: OutageSpine, Index: 3, StartNs: 1000, EndNs: 5000},
+		{Kind: OutageLeaf, Index: 2, StartNs: 0, EndNs: 10},
+		{Kind: OutageTrunk, Index: 1, Leaf: 2, StartNs: 5, EndNs: 6},
+	}
+	for _, o := range good {
+		if err := o.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", o, err)
+		}
+	}
+	bad := []Outage{
+		{},                                                 // no kind
+		{Kind: "switch", StartNs: 0, EndNs: 1},             // unknown kind
+		{Kind: OutageSpine, Index: -1, EndNs: 1},           // negative index
+		{Kind: OutageTrunk, Leaf: -1, EndNs: 1},            // negative leaf
+		{Kind: OutageSpine, StartNs: -5, EndNs: 1},         // negative start
+		{Kind: OutageSpine, StartNs: 10, EndNs: 10},        // empty window
+		{Kind: OutageSpine, StartNs: 10, EndNs: 5},         // inverted window
+		{Kind: OutageLink, Index: 0, StartNs: 0, EndNs: 0}, // zero end
+	}
+	for _, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", o)
+		}
+	}
+}
+
+func TestOutageString(t *testing.T) {
+	cases := []struct {
+		o    Outage
+		want []string
+	}{
+		{Outage{Kind: OutageSpine, Index: 0, StartNs: 20000, EndNs: 40000}, []string{"spine 0", "down"}},
+		{Outage{Kind: OutageLink, Index: 7, StartNs: 0, EndNs: 100}, []string{"link 7"}},
+		{Outage{Kind: OutageTrunk, Index: 1, Leaf: 2, StartNs: 0, EndNs: 100}, []string{"trunk l2-s1"}},
+		{Outage{Kind: OutageLeaf, Index: 3, StartNs: 0, EndNs: 100}, []string{"leaf 3"}},
+	}
+	for _, tc := range cases {
+		s := tc.o.String()
+		for _, want := range tc.want {
+			if !strings.Contains(s, want) {
+				t.Errorf("String(%+v) = %q, missing %q", tc.o, s, want)
+			}
+		}
+	}
+}
+
+func TestOutageWindow(t *testing.T) {
+	o := Outage{Kind: OutageSpine, StartNs: 1500, EndNs: 2500}
+	start, end := o.Window()
+	if start != 1500*sim.Nanosecond || end != 2500*sim.Nanosecond {
+		t.Errorf("Window() = %v, %v; want 1.5µs, 2.5µs", start, end)
+	}
+}
+
+func TestBurstValidate(t *testing.T) {
+	good := []Burst{
+		{},
+		{GoodLossProb: 0.001, BadLossProb: 0.5, GoodToBad: 0.01, BadToGood: 0.1},
+		{BadLossProb: 1, GoodToBad: 1, BadToGood: 1},
+	}
+	for _, b := range good {
+		if err := b.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", b, err)
+		}
+	}
+	bad := []Burst{
+		{GoodLossProb: -0.1},
+		{BadLossProb: 1.5},
+		{GoodToBad: 2},
+		{BadToGood: -1},
+		{GoodLossProb: math.NaN()},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", b)
+		}
+	}
+}
+
+func TestBurstEnabled(t *testing.T) {
+	if (Burst{}).Enabled() {
+		t.Error("zero Burst must be disabled")
+	}
+	if (Burst{BadLossProb: 0.5}).Enabled() {
+		t.Error("an unreachable bad state (GoodToBad 0) must not enable the process")
+	}
+	if !(Burst{BadLossProb: 0.5, GoodToBad: 0.01}).Enabled() {
+		t.Error("a reachable lossy bad state must enable the process")
+	}
+	if !(Burst{GoodLossProb: 0.001}).Enabled() {
+		t.Error("good-state loss alone must enable the process")
+	}
+}
+
+func TestScheduleValidateAndString(t *testing.T) {
+	zero := Schedule{}
+	if zero.Enabled() {
+		t.Error("zero Schedule must be disabled")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Errorf("zero Schedule Validate() = %v, want nil", err)
+	}
+	if got := zero.String(); got != "disabled" {
+		t.Errorf("zero Schedule String() = %q, want disabled", got)
+	}
+
+	s := Schedule{
+		Outages: []Outage{
+			{Kind: OutageSpine, Index: 0, StartNs: 20000, EndNs: 40000},
+			{Kind: OutageLink, Index: 3, StartNs: 0, EndNs: 5000},
+		},
+		Burst: Burst{BadLossProb: 0.3, GoodToBad: 0.01, BadToGood: 0.2},
+	}
+	if !s.Enabled() {
+		t.Error("schedule with outages must be enabled")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate() = %v, want nil", err)
+	}
+	str := s.String()
+	for _, want := range []string{"spine 0", "link 3", "burst"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q, missing %q", str, want)
+		}
+	}
+
+	// An invalid outage is reported with its index.
+	s.Outages = append(s.Outages, Outage{Kind: "spline", StartNs: 0, EndNs: 1})
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Outages[2]") {
+		t.Errorf("Validate() = %v, want error naming Outages[2]", err)
+	}
+}
+
+func TestGilbertElliottDisabled(t *testing.T) {
+	if g := NewGilbertElliott(Burst{}, 1); g != nil {
+		t.Error("disabled burst spec must yield a nil process")
+	}
+	var g *GilbertElliott
+	for i := 0; i < 10; i++ {
+		if g.Lose() {
+			t.Fatal("nil process must never lose a frame")
+		}
+	}
+}
+
+func TestGilbertElliottDeterminism(t *testing.T) {
+	spec := Burst{GoodLossProb: 0.01, BadLossProb: 0.5, GoodToBad: 0.05, BadToGood: 0.2}
+	a := NewGilbertElliott(spec, 42)
+	b := NewGilbertElliott(spec, 42)
+	for i := 0; i < 10_000; i++ {
+		if a.Lose() != b.Lose() {
+			t.Fatalf("decision %d diverged between identically-seeded processes", i)
+		}
+	}
+	if a.Losses != b.Losses || a.BadEntries != b.BadEntries {
+		t.Errorf("tallies diverged: %d/%d vs %d/%d", a.Losses, a.BadEntries, b.Losses, b.BadEntries)
+	}
+	if a.Losses == 0 || a.BadEntries == 0 {
+		t.Errorf("process injected nothing over 10k draws (losses %d, bad entries %d)", a.Losses, a.BadEntries)
+	}
+}
+
+// The defining property of the Gilbert–Elliott process: losses cluster.
+// The loss rate inside the bad state must be far above the good state's.
+func TestGilbertElliottBurstiness(t *testing.T) {
+	spec := Burst{GoodLossProb: 0.001, BadLossProb: 0.5, GoodToBad: 0.02, BadToGood: 0.2}
+	g := NewGilbertElliott(spec, 7)
+	goodLoss, goodN, badLoss, badN := 0, 0, 0, 0
+	for i := 0; i < 200_000; i++ {
+		bad := g.Bad()
+		lost := g.Lose()
+		if bad {
+			badN++
+			if lost {
+				badLoss++
+			}
+		} else {
+			goodN++
+			if lost {
+				goodLoss++
+			}
+		}
+	}
+	if goodN == 0 || badN == 0 {
+		t.Fatalf("process never visited both states (good %d, bad %d)", goodN, badN)
+	}
+	goodRate := float64(goodLoss) / float64(goodN)
+	badRate := float64(badLoss) / float64(badN)
+	if badRate < 10*goodRate {
+		t.Errorf("bad-state loss rate %.4f not clearly above good-state %.4f — losses are not bursty", badRate, goodRate)
+	}
+}

@@ -71,3 +71,71 @@ func (rt *Retransmitter) attempt(n int, try func(int) (fault.Outcome, sim.Time),
 	rt.Trace.Span("backoff", now+wire, now+wire+delay)
 	rt.Eng.Schedule(wire+delay, func() { rt.attempt(n+1, try, done) })
 }
+
+// SendAsync delivers one frame through a path whose outcome the sender
+// cannot observe synchronously — a multi-hop fabric where the frame may
+// die at any queue or down element along the way. xmit transmits attempt
+// n (0-based) and must invoke ack exactly once if and when that attempt's
+// frame is acknowledged end to end; if no ack arrives before the policy's
+// backoff delay for that attempt, the frame is presumed lost and
+// retransmitted. The first ack wins: late acks — a slow frame overtaken
+// by its own retransmission — are absorbed silently, and any ack after
+// the retry cap gave up is likewise ignored. done fires exactly once,
+// with attempts counting transmissions including the final one, and an
+// error wrapping fault.ErrExhausted when the cap ran out.
+//
+// A retransmit timer that is shorter than the path's loaded round trip is
+// safe (the duplicate delivers and is ignored) but wasteful; size the
+// policy's base above the expected RTT.
+func (rt *Retransmitter) SendAsync(xmit func(attempt int, ack func()), done func(attempts int, err error)) {
+	finished := false
+	var attempt func(n int)
+	attempt = func(n int) {
+		sent := rt.Eng.Now()
+		var timer sim.EventID
+		armed := false
+		xmit(n, func() {
+			if finished {
+				return // a duplicate or post-give-up ack
+			}
+			finished = true
+			if armed {
+				rt.Eng.Cancel(timer)
+			}
+			rt.Trace.Span("xmit", sent, rt.Eng.Now())
+			done(n+1, nil)
+		})
+		if finished {
+			return // acked synchronously (a zero-latency test path)
+		}
+		delay, ok := rt.Policy.NextDelay(n)
+		if !ok {
+			// Out of retries: wait out the last timer, then give up.
+			timer = rt.Eng.Schedule(rt.Policy.Backoff.Delay(n), func() {
+				if finished {
+					return // an earlier attempt's ack landed in the meantime
+				}
+				finished = true
+				if rt.Counters != nil {
+					rt.Counters.DeliveryFailures++
+				}
+				rt.Trace.Span("give-up timeout", sent, rt.Eng.Now())
+				done(n+1, fmt.Errorf("nic: no ack after %d attempts: %w", n+1, fault.ErrExhausted))
+			})
+			armed = true
+			return
+		}
+		timer = rt.Eng.Schedule(delay, func() {
+			if finished {
+				return // an earlier attempt's ack landed in the meantime
+			}
+			if rt.Counters != nil {
+				rt.Counters.Retransmits++
+			}
+			rt.Trace.Span("timeout", sent, rt.Eng.Now())
+			attempt(n + 1)
+		})
+		armed = true
+	}
+	attempt(0)
+}

@@ -99,3 +99,162 @@ func TestRetransmitterExhausts(t *testing.T) {
 		t.Errorf("counters = %+v, want 3 retransmits, 1 failure", *c)
 	}
 }
+
+func TestSendAsyncFirstAttemptAcks(t *testing.T) {
+	eng, rt, c := retransRig()
+	const rtt = 60 * sim.Nanosecond
+	attempts, done := 0, sim.Time(-1)
+	rt.SendAsync(
+		func(n int, ack func()) { eng.Schedule(rtt, ack) },
+		func(n int, err error) {
+			if err != nil {
+				t.Errorf("err = %v", err)
+			}
+			attempts, done = n, eng.Now()
+		})
+	eng.Run()
+	if attempts != 1 || done != rtt {
+		t.Fatalf("attempts = %d at %v, want 1 at %v", attempts, done, rtt)
+	}
+	if c.Retransmits != 0 {
+		t.Errorf("Retransmits = %d for a clean ack", c.Retransmits)
+	}
+}
+
+// A lost first attempt: no ack arrives, the timer fires after the backoff
+// delay, and the second attempt's ack completes the send.
+func TestSendAsyncRecoversAfterLoss(t *testing.T) {
+	eng, rt, c := retransRig()
+	const rtt = 60 * sim.Nanosecond
+	attempts, done := 0, sim.Time(-1)
+	rt.SendAsync(
+		func(n int, ack func()) {
+			if n == 0 {
+				return // frame eaten: no ack will come
+			}
+			eng.Schedule(rtt, ack)
+		},
+		func(n int, err error) {
+			if err != nil {
+				t.Errorf("err = %v", err)
+			}
+			attempts, done = n, eng.Now()
+		})
+	eng.Run()
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if want := 100*sim.Nanosecond + rtt; done != want {
+		t.Errorf("delivered at %v, want timer + rtt = %v", done, want)
+	}
+	if c.Retransmits != 1 {
+		t.Errorf("Retransmits = %d, want 1", c.Retransmits)
+	}
+}
+
+// A slow frame overtaken by its own retransmission: attempt 0's ack lands
+// after the timer already launched attempt 1. The late ack must win once
+// (cancelling nothing it shouldn't), attempt 1's ack must be absorbed as a
+// duplicate, and — critically — attempt 1's still-pending timer must not
+// fire a third transmission.
+func TestSendAsyncLateAckStopsPendingTimer(t *testing.T) {
+	eng, rt, c := retransRig()
+	transmissions := 0
+	doneCalls, attempts := 0, 0
+	rt.SendAsync(
+		func(n int, ack func()) {
+			transmissions++
+			if n == 0 {
+				eng.Schedule(150*sim.Nanosecond, ack) // lands after the 100ns timer
+				return
+			}
+			eng.Schedule(60*sim.Nanosecond, ack) // the duplicate, landing later still
+		},
+		func(n int, err error) {
+			if err != nil {
+				t.Errorf("err = %v", err)
+			}
+			doneCalls++
+			attempts = n
+		})
+	eng.Run()
+	if doneCalls != 1 {
+		t.Fatalf("done fired %d times, want exactly once", doneCalls)
+	}
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1 (the late first-attempt ack won)", attempts)
+	}
+	if transmissions != 2 {
+		t.Errorf("transmissions = %d, want 2 — a pending timer fired after the ack", transmissions)
+	}
+	if c.Retransmits != 1 {
+		t.Errorf("Retransmits = %d, want 1", c.Retransmits)
+	}
+}
+
+func TestSendAsyncExhausts(t *testing.T) {
+	eng, rt, c := retransRig()
+	var rerr error
+	attempts, transmissions := 0, 0
+	rt.SendAsync(
+		func(n int, ack func()) { transmissions++ }, // never acked
+		func(n int, err error) { attempts, rerr = n, err })
+	eng.Run()
+	if attempts != 4 || transmissions != 4 {
+		t.Fatalf("attempts = %d, transmissions = %d, want 4 each (initial + MaxRetries=3)", attempts, transmissions)
+	}
+	if !errors.Is(rerr, fault.ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", rerr)
+	}
+	if c.Retransmits != 3 || c.DeliveryFailures != 1 {
+		t.Errorf("counters = %+v, want 3 retransmits, 1 failure", *c)
+	}
+	// The give-up instant waits out the final attempt's timer.
+	if now := eng.Now(); now != 100*sim.Nanosecond+200*sim.Nanosecond+400*sim.Nanosecond+400*sim.Nanosecond {
+		t.Errorf("gave up at %v, want the summed backoff schedule", now)
+	}
+}
+
+// An ack that arrives after the give-up fired must be ignored, not
+// resurrect the send.
+func TestSendAsyncAckAfterGiveUpIgnored(t *testing.T) {
+	eng, rt, _ := retransRig()
+	doneCalls := 0
+	var lastErr error
+	rt.SendAsync(
+		func(n int, ack func()) {
+			if n == 3 {
+				// The final attempt's ack lands well after its give-up timer.
+				eng.Schedule(sim.Millisecond, ack)
+			}
+		},
+		func(n int, err error) { doneCalls++; lastErr = err })
+	eng.Run()
+	if doneCalls != 1 {
+		t.Fatalf("done fired %d times, want exactly once", doneCalls)
+	}
+	if !errors.Is(lastErr, fault.ErrExhausted) {
+		t.Errorf("err = %v, want ErrExhausted (the post-give-up ack must not win)", lastErr)
+	}
+}
+
+// A synchronous ack — zero-latency test paths call ack inside xmit.
+func TestSendAsyncSynchronousAck(t *testing.T) {
+	eng, rt, c := retransRig()
+	attempts := 0
+	rt.SendAsync(
+		func(n int, ack func()) { ack() },
+		func(n int, err error) {
+			if err != nil {
+				t.Errorf("err = %v", err)
+			}
+			attempts = n
+		})
+	eng.Run()
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+	if c.Retransmits != 0 {
+		t.Errorf("Retransmits = %d, want 0", c.Retransmits)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -24,7 +25,7 @@ func TestLoadScenarioPresets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if def != DefaultConfig() {
+	if !reflect.DeepEqual(def, DefaultConfig()) {
 		t.Error(`LoadScenario("") != DefaultConfig()`)
 	}
 }
@@ -54,7 +55,7 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
 	}
 }
@@ -67,7 +68,7 @@ func TestScenarioPartialJSONFillsDefaults(t *testing.T) {
 	}
 	want := DefaultConfig()
 	want.DRAM = "DDR5-4800"
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Errorf("partial scenario = %+v, want defaults + DDR5", got)
 	}
 }
