@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"netdimm"
+	"netdimm/internal/campaign"
 	"netdimm/internal/ethernet"
 	"netdimm/internal/fabric"
 	"netdimm/internal/sim"
@@ -21,6 +22,11 @@ import (
 //
 //	go run ./cmd/netdimm-sim -n 400 bench > BENCH_seed.json
 type benchReport struct {
+	// GitRevision and GeneratedUTC stamp the report with its provenance so
+	// the perf-trajectory tooling can place it in history. Reports produced
+	// before the stamps existed load fine with both fields absent.
+	GitRevision  string `json:"git_revision,omitempty"`
+	GeneratedUTC string `json:"generated_utc,omitempty"`
 	// Host identifies the machine the numbers were taken on. Speedups are
 	// meaningless without NumCPU: a 1-core host cannot show parallel gain.
 	Host struct {
@@ -72,6 +78,8 @@ type shardBench struct {
 
 func runBench() error {
 	var rep benchReport
+	rep.GitRevision = campaign.GitRevision(".")
+	rep.GeneratedUTC = time.Now().UTC().Format(time.RFC3339)
 	rep.Host.GOOS = runtime.GOOS
 	rep.Host.GOARCH = runtime.GOARCH
 	rep.Host.NumCPU = runtime.NumCPU()

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netdimm"
+	"netdimm/internal/campaign"
+)
+
+var (
+	gridPath  = flag.String("grid", "", "campaign grid JSON file (campaign; see scenarios/campaign-default.json)")
+	outRoot   = flag.String("outdir", "campaigns", "directory campaign output directories are created under")
+	gateFlag  = flag.Bool("gate", false, "trajectory: exit non-zero when the newest bench report regresses vs best-in-history")
+	reportOut = flag.String("report", "", "trajectory: also write the markdown report to this file")
+)
+
+// runCampaign drives the campaign harness: load + validate the grid, run
+// every cell through the experiment facade, leave a timestamped output
+// directory behind and print the grouped summary. The -parallel flag, when
+// set, overrides the grid's parallelism; -n, -seed etc. do not leak into
+// cells — the grid file is the single source of cell parameters, so a
+// campaign is reproducible from the file alone.
+func runCampaign(netdimm.Config) error {
+	if *gridPath == "" {
+		return fmt.Errorf("campaign: -grid FILE is required (try scenarios/campaign-default.json)")
+	}
+	grid, err := netdimm.LoadCampaignGrid(*gridPath)
+	if err != nil {
+		return err
+	}
+	if *parallel != 0 {
+		grid.Parallelism = *parallel
+	}
+	rep, err := netdimm.RunCampaign(grid, *gridPath, *outRoot, os.Stderr)
+	if rep != nil {
+		fmt.Print(rep.Summary)
+	}
+	return err
+}
+
+// runTrajectory renders the perf history across bench reports:
+//
+//	netdimm-sim trajectory [-csv] [-gate] [-report FILE] BENCH_seed.json ... BENCH_prN.json
+//
+// Reports are given oldest first; the newest is the one -gate judges. The
+// default output is the markdown report; -csv emits the flat CSV instead.
+func runTrajectory(netdimm.Config) error {
+	paths := subArgs
+	if len(paths) < 1 {
+		return fmt.Errorf("trajectory: usage: netdimm-sim trajectory [-csv] [-gate] [-report FILE] BENCH.json...")
+	}
+	entries, err := campaign.LoadBenchHistory(paths)
+	if err != nil {
+		return err
+	}
+	traj := campaign.NewTrajectory(entries)
+	if *asCSV {
+		fmt.Print(traj.CSV())
+	} else {
+		fmt.Print(traj.Markdown())
+	}
+	if *reportOut != "" {
+		if err := os.WriteFile(*reportOut, []byte(traj.Markdown()), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "netdimm-sim: wrote trajectory report to %s\n", *reportOut)
+	}
+	if *gateFlag {
+		if regs := traj.Regressions(); len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "trajectory gate: %s\n", r)
+			}
+			return fmt.Errorf("trajectory: %d regression(s) in %s vs best-in-history", len(regs), traj.Final)
+		}
+		fmt.Fprintf(os.Stderr, "trajectory gate: %s ok vs best-in-history\n", traj.Final)
+	}
+	return nil
+}

@@ -123,6 +123,8 @@ var commands = []command{
 	{"failsweep", "scheduled spine outage: ECMP failover, ARQ recovery time, tail inflation", false, runFailSweep},
 	{"headline", "the abstract's summary numbers", true, runHeadline},
 	{"bench", "machine-readable benchmark report (JSON; see -benchn)", false, func(netdimm.Config) error { return runBench() }},
+	{"campaign", "run a grid of experiments from -grid FILE into a timestamped output dir", false, runCampaign},
+	{"trajectory", "perf history across BENCH_*.json reports, with -gate regression check", false, runTrajectory},
 }
 
 // csvOut prints one CSV record.
@@ -136,16 +138,35 @@ func csvOut(fields ...string) {
 	fmt.Println()
 }
 
+// subArgs holds the positional arguments that follow a subcommand verb
+// (the bench report paths of `trajectory`), after its flags are parsed.
+var subArgs []string
+
 func main() {
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() < 1 || flag.NArg() > 2 {
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
+	exp := flag.Arg(0)
+	rest := flag.Args()[1:]
+	switch exp {
+	case "campaign", "trajectory":
+		// These verbs take flags after the verb (`campaign -grid FILE`), so
+		// re-parse the remainder; what is left over is the verb's own
+		// positional arguments.
+		flag.CommandLine.Parse(rest)
+		subArgs = flag.Args()
+	default:
+		if len(rest) > 1 {
+			usage()
+			os.Exit(2)
+		}
+	}
 	cfg, err := netdimm.LoadScenario(*scenario)
 	if err == nil {
-		err = run(cfg, flag.Arg(0))
+		err = run(cfg, exp)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "netdimm-sim: %v\n", err)

@@ -1,0 +1,277 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"netdimm/internal/stats"
+)
+
+// NsRegressionFactor is the engine-latency tolerance of the trajectory
+// gate: an entry regresses when its ns/op exceeds the best-in-history
+// value by more than 10%. Allocations have zero tolerance — any increase
+// over the best-in-history allocs/op is a regression.
+const NsRegressionFactor = 1.10
+
+// EngineBench mirrors one engine hot-path measurement of a BENCH_*.json
+// report.
+type EngineBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// SweepBench mirrors one sweep wall-time measurement of a BENCH_*.json
+// report.
+type SweepBench struct {
+	Name         string  `json:"name"`
+	Cells        int     `json:"cells"`
+	SequentialMs float64 `json:"sequential_ms"`
+	ParallelMs   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// BenchEntry is one point of the perf history: a parsed BENCH_*.json
+// report plus the label derived from its filename (BENCH_pr7.json ->
+// "pr7"). GitRevision and GeneratedUTC stamp reports from PR 9 on;
+// earlier files predate the stamps and load with both fields empty.
+type BenchEntry struct {
+	Label        string        `json:"-"`
+	Path         string        `json:"-"`
+	GitRevision  string        `json:"git_revision"`
+	GeneratedUTC string        `json:"generated_utc"`
+	Host         Host          `json:"host"`
+	Sweeps       []SweepBench  `json:"sweeps"`
+	Engine       []EngineBench `json:"engine"`
+	// DeterminismOK is a pointer so a historical file without the field
+	// is distinguishable from an explicit false.
+	DeterminismOK *bool `json:"determinism_ok"`
+}
+
+// LoadBenchFile parses one BENCH_*.json report. Unknown fields (e.g. the
+// sharded_loadsweep block) are ignored, and missing stamps are tolerated.
+func LoadBenchFile(path string) (BenchEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchEntry{}, fmt.Errorf("campaign: bench history: %w", err)
+	}
+	var e BenchEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return BenchEntry{}, fmt.Errorf("campaign: bench history %s: %w", path, err)
+	}
+	if len(e.Engine) == 0 {
+		return BenchEntry{}, fmt.Errorf("campaign: bench history %s: no engine benchmarks (is this a bench report?)", path)
+	}
+	e.Label = benchLabel(path)
+	e.Path = path
+	return e, nil
+}
+
+// LoadBenchHistory parses a list of bench reports in trajectory order
+// (oldest first; the last entry is the one the gate judges).
+func LoadBenchHistory(paths []string) ([]BenchEntry, error) {
+	var entries []BenchEntry
+	for _, p := range paths {
+		e, err := LoadBenchFile(p)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// benchLabel derives the trajectory label from a report filename:
+// "BENCH_pr7.json" -> "pr7", "BENCH_seed.json" -> "seed",
+// "/tmp/bench.json" -> "bench".
+func benchLabel(path string) string {
+	base := filepath.Base(path)
+	base = strings.TrimSuffix(base, filepath.Ext(base))
+	base = strings.TrimPrefix(base, "BENCH_")
+	if base == "" {
+		return "bench"
+	}
+	return base
+}
+
+// EngineRow is one (entry, benchmark) point of the trajectory with its
+// verdict against the best earlier entry.
+type EngineRow struct {
+	PR          string
+	GitRevision string
+	Bench       string
+	NsPerOp     float64
+	AllocsPerOp int64
+	BytesPerOp  int64
+	// BestNsPerOp / BestAllocs / BestPR describe the best strictly
+	// earlier entry that measured this benchmark; BestPR is "" for the
+	// first appearance (verdict "baseline").
+	BestNsPerOp float64
+	BestAllocs  int64
+	BestPR      string
+	// VsBestPct is (NsPerOp/BestNsPerOp - 1) * 100.
+	VsBestPct float64
+	// Verdict is "baseline", "ok", or a regression description.
+	Verdict string
+}
+
+// SweepRow is one (entry, sweep) wall-time point of the trajectory.
+type SweepRow struct {
+	PR           string
+	Sweep        string
+	Cells        int
+	SequentialMs float64
+	ParallelMs   float64
+	Speedup      float64
+}
+
+// TrajectoryReport is the rendered perf history: engine hot-path rows and
+// sweep wall-time rows across every PR, with regression verdicts.
+type TrajectoryReport struct {
+	Engine []EngineRow
+	Sweeps []SweepRow
+	// Final is the label of the last (judged) entry.
+	Final string
+	// DeterminismFailed reports a final entry whose bench-time
+	// determinism check failed.
+	DeterminismFailed bool
+}
+
+// NewTrajectory computes the trajectory over entries in history order.
+// Each entry's verdict compares it against the best strictly earlier entry
+// per benchmark, so the report shows where every regression (or win)
+// landed, not just the endpoint.
+func NewTrajectory(entries []BenchEntry) TrajectoryReport {
+	var rep TrajectoryReport
+	bestNs := map[string]float64{}
+	bestNsPR := map[string]string{}
+	bestAllocs := map[string]int64{}
+	bestAllocsPR := map[string]string{}
+	for _, e := range entries {
+		for _, b := range e.Engine {
+			row := EngineRow{
+				PR:          e.Label,
+				GitRevision: e.GitRevision,
+				Bench:       b.Name,
+				NsPerOp:     b.NsPerOp,
+				AllocsPerOp: b.AllocsPerOp,
+				BytesPerOp:  b.BytesPerOp,
+			}
+			if ns, ok := bestNs[b.Name]; !ok {
+				row.Verdict = "baseline"
+			} else {
+				row.BestNsPerOp = ns
+				row.BestAllocs = bestAllocs[b.Name]
+				row.BestPR = bestNsPR[b.Name]
+				row.VsBestPct = (b.NsPerOp/ns - 1) * 100
+				var problems []string
+				if b.NsPerOp > ns*NsRegressionFactor {
+					problems = append(problems, fmt.Sprintf("ns/op +%.1f%% vs best %.2f (%s)", row.VsBestPct, ns, bestNsPR[b.Name]))
+				}
+				if b.AllocsPerOp > bestAllocs[b.Name] {
+					problems = append(problems, fmt.Sprintf("allocs/op %d vs best %d (%s)", b.AllocsPerOp, bestAllocs[b.Name], bestAllocsPR[b.Name]))
+				}
+				if len(problems) == 0 {
+					row.Verdict = "ok"
+				} else {
+					row.Verdict = "regression: " + strings.Join(problems, "; ")
+				}
+			}
+			rep.Engine = append(rep.Engine, row)
+			if ns, ok := bestNs[b.Name]; !ok || b.NsPerOp < ns {
+				bestNs[b.Name] = b.NsPerOp
+				bestNsPR[b.Name] = e.Label
+			}
+			if al, ok := bestAllocs[b.Name]; !ok || b.AllocsPerOp < al {
+				bestAllocs[b.Name] = b.AllocsPerOp
+				bestAllocsPR[b.Name] = e.Label
+			}
+		}
+		for _, s := range e.Sweeps {
+			rep.Sweeps = append(rep.Sweeps, SweepRow{
+				PR: e.Label, Sweep: s.Name, Cells: s.Cells,
+				SequentialMs: s.SequentialMs, ParallelMs: s.ParallelMs, Speedup: s.Speedup,
+			})
+		}
+	}
+	if n := len(entries); n > 0 {
+		last := entries[n-1]
+		rep.Final = last.Label
+		rep.DeterminismFailed = last.DeterminismOK != nil && !*last.DeterminismOK
+	}
+	return rep
+}
+
+// Regressions lists the gate-relevant failures: every regression verdict
+// of the final entry, plus a failed bench-time determinism check. An empty
+// slice means the gate passes.
+func (t TrajectoryReport) Regressions() []string {
+	var out []string
+	for _, r := range t.Engine {
+		if r.PR == t.Final && strings.HasPrefix(r.Verdict, "regression") {
+			out = append(out, fmt.Sprintf("%s (%s): %s", r.Bench, r.PR, r.Verdict))
+		}
+	}
+	if t.DeterminismFailed {
+		out = append(out, fmt.Sprintf("bench-time determinism check failed in %s", t.Final))
+	}
+	return out
+}
+
+// CSV renders the full trajectory as one flat CSV: engine rows carry the
+// ns/allocs/bytes and verdict columns, sweep rows the wall-time columns.
+func (t TrajectoryReport) CSV() string {
+	header := []string{"kind", "pr", "git_revision", "name",
+		"ns_per_op", "allocs_per_op", "bytes_per_op", "vs_best_pct", "verdict",
+		"cells", "sequential_ms", "parallel_ms", "speedup"}
+	var rows [][]string
+	for _, r := range t.Engine {
+		vsBest := ""
+		if r.BestPR != "" {
+			vsBest = fmt.Sprintf("%+.1f", r.VsBestPct)
+		}
+		rows = append(rows, []string{"engine", r.PR, r.GitRevision, r.Bench,
+			fmt.Sprintf("%.2f", r.NsPerOp), fmt.Sprint(r.AllocsPerOp), fmt.Sprint(r.BytesPerOp),
+			vsBest, r.Verdict, "", "", "", ""})
+	}
+	for _, s := range t.Sweeps {
+		rows = append(rows, []string{"sweep", s.PR, "", s.Sweep, "", "", "", "", "",
+			fmt.Sprint(s.Cells), fmt.Sprintf("%.1f", s.SequentialMs),
+			fmt.Sprintf("%.1f", s.ParallelMs), fmt.Sprintf("%.2f", s.Speedup)})
+	}
+	return stats.CSV(header, rows)
+}
+
+// Markdown renders the trajectory as a two-table markdown report.
+func (t TrajectoryReport) Markdown() string {
+	var sb strings.Builder
+	sb.WriteString("# Perf trajectory\n\n## Engine hot path\n\n")
+	eng := &stats.Table{Header: []string{"pr", "rev", "bench", "ns/op", "allocs/op", "bytes/op", "vs best", "verdict"}}
+	for _, r := range t.Engine {
+		vsBest := "-"
+		if r.BestPR != "" {
+			vsBest = fmt.Sprintf("%+.1f%%", r.VsBestPct)
+		}
+		eng.AddRow(r.PR, orDash(r.GitRevision), r.Bench, fmt.Sprintf("%.2f", r.NsPerOp),
+			fmt.Sprint(r.AllocsPerOp), fmt.Sprint(r.BytesPerOp), vsBest, r.Verdict)
+	}
+	sb.WriteString(eng.Markdown())
+	sb.WriteString("\n## Sweep wall time\n\n")
+	sw := &stats.Table{Header: []string{"pr", "sweep", "cells", "sequential_ms", "parallel_ms", "speedup"}}
+	for _, s := range t.Sweeps {
+		sw.AddRow(s.PR, s.Sweep, fmt.Sprint(s.Cells), fmt.Sprintf("%.1f", s.SequentialMs),
+			fmt.Sprintf("%.1f", s.ParallelMs), fmt.Sprintf("%.2fx", s.Speedup))
+	}
+	sb.WriteString(sw.Markdown())
+	if regs := t.Regressions(); len(regs) > 0 {
+		sb.WriteString("\n## Regressions\n\n")
+		for _, r := range regs {
+			fmt.Fprintf(&sb, "- %s\n", r)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,179 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func entry(label string, ns float64, allocs int64) BenchEntry {
+	return BenchEntry{
+		Label:  label,
+		Engine: []EngineBench{{Name: "EngineSchedule", NsPerOp: ns, AllocsPerOp: allocs}},
+	}
+}
+
+func TestTrajectoryVerdicts(t *testing.T) {
+	traj := NewTrajectory([]BenchEntry{
+		entry("seed", 15.0, 0),
+		entry("pr6", 14.0, 0), // improvement -> new best
+		entry("pr7", 15.2, 0), // +8.6% vs best 14.0 -> ok (within 10%)
+		entry("pr9", 16.0, 0), // +14.3% vs best 14.0 -> regression
+	})
+	wants := []string{"baseline", "ok", "ok", "regression"}
+	if len(traj.Engine) != 4 {
+		t.Fatalf("rows: %d", len(traj.Engine))
+	}
+	for i, w := range wants {
+		if !strings.HasPrefix(traj.Engine[i].Verdict, w) {
+			t.Errorf("row %d (%s): verdict %q, want prefix %q", i, traj.Engine[i].PR, traj.Engine[i].Verdict, w)
+		}
+	}
+	if traj.Engine[3].BestPR != "pr6" {
+		t.Errorf("best attribution: %q, want pr6", traj.Engine[3].BestPR)
+	}
+	regs := traj.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "pr9") {
+		t.Fatalf("regressions: %v", regs)
+	}
+}
+
+// A historical regression must not fail the gate when the final entry
+// recovered: only the last entry's verdicts count.
+func TestTrajectoryGateJudgesOnlyFinalEntry(t *testing.T) {
+	traj := NewTrajectory([]BenchEntry{
+		entry("seed", 10.0, 0),
+		entry("pr7", 20.0, 0), // historical regression
+		entry("pr9", 10.5, 0), // recovered
+	})
+	if regs := traj.Regressions(); len(regs) != 0 {
+		t.Fatalf("gate should pass after recovery, got %v", regs)
+	}
+}
+
+func TestTrajectoryAllocRegression(t *testing.T) {
+	traj := NewTrajectory([]BenchEntry{
+		entry("seed", 10.0, 0),
+		entry("pr9", 10.0, 1), // any alloc increase is a regression
+	})
+	regs := traj.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op 1 vs best 0") {
+		t.Fatalf("alloc regression: %v", regs)
+	}
+}
+
+// A benchmark that first appears mid-history (FabricForward landed in PR 5)
+// is a baseline there, not a regression against nothing.
+func TestTrajectoryNewBenchmarkIsBaseline(t *testing.T) {
+	e1 := entry("seed", 10.0, 0)
+	e2 := entry("pr9", 10.1, 0)
+	e2.Engine = append(e2.Engine, EngineBench{Name: "FabricForward", NsPerOp: 1300, AllocsPerOp: 20})
+	traj := NewTrajectory([]BenchEntry{e1, e2})
+	var fabric *EngineRow
+	for i := range traj.Engine {
+		if traj.Engine[i].Bench == "FabricForward" {
+			fabric = &traj.Engine[i]
+		}
+	}
+	if fabric == nil || fabric.Verdict != "baseline" {
+		t.Fatalf("new benchmark verdict: %+v", fabric)
+	}
+	if regs := traj.Regressions(); len(regs) != 0 {
+		t.Fatalf("baseline must not gate: %v", regs)
+	}
+}
+
+func TestTrajectoryDeterminismFailureGates(t *testing.T) {
+	bad := false
+	e := entry("pr9", 10.0, 0)
+	e.DeterminismOK = &bad
+	traj := NewTrajectory([]BenchEntry{entry("seed", 10.0, 0), e})
+	regs := traj.Regressions()
+	if len(regs) != 1 || !strings.Contains(regs[0], "determinism") {
+		t.Fatalf("determinism gate: %v", regs)
+	}
+}
+
+func TestTrajectoryRenderers(t *testing.T) {
+	e := entry("seed", 15.0, 0)
+	e.Sweeps = []SweepBench{{Name: "fig12a", Cells: 16, SequentialMs: 100, ParallelMs: 50, Speedup: 2}}
+	traj := NewTrajectory([]BenchEntry{e, entry("pr9", 20.0, 0)})
+	csv := traj.CSV()
+	for _, want := range []string{"kind,pr,git_revision,name", "engine,seed,,EngineSchedule,15.00",
+		"sweep,seed,,fig12a", "regression"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("CSV missing %q:\n%s", want, csv)
+		}
+	}
+	md := traj.Markdown()
+	for _, want := range []string{"# Perf trajectory", "## Engine hot path", "## Sweep wall time",
+		"## Regressions", "| pr |", "EngineSchedule"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+// LoadBenchFile must accept historical reports without the
+// git_revision/generated_utc stamps and reject non-bench JSON.
+func TestLoadBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "BENCH_pr7.json")
+	doc := `{"host":{"goos":"linux","num_cpu":1},"sweeps":[],"engine":[{"name":"EngineSchedule","ns_per_op":17.7,"allocs_per_op":0,"bytes_per_op":0}],"sharded_loadsweep":[],"determinism_ok":true}`
+	if err := os.WriteFile(old, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := LoadBenchFile(old)
+	if err != nil {
+		t.Fatalf("historical file without stamps: %v", err)
+	}
+	if e.Label != "pr7" || e.GitRevision != "" || e.GeneratedUTC != "" {
+		t.Fatalf("entry: label=%q rev=%q utc=%q", e.Label, e.GitRevision, e.GeneratedUTC)
+	}
+	if e.DeterminismOK == nil || !*e.DeterminismOK {
+		t.Fatalf("determinism_ok not parsed: %v", e.DeterminismOK)
+	}
+
+	empty := filepath.Join(dir, "notbench.json")
+	if err := os.WriteFile(empty, []byte(`{"foo":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBenchFile(empty); err == nil || !strings.Contains(err.Error(), "no engine benchmarks") {
+		t.Fatalf("want no-engine error, got %v", err)
+	}
+	if _, err := LoadBenchFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestBenchLabel(t *testing.T) {
+	cases := map[string]string{
+		"BENCH_seed.json":      "seed",
+		"/repo/BENCH_pr7.json": "pr7",
+		"/tmp/bench.json":      "bench",
+		"BENCH_.json":          "bench",
+	}
+	for in, want := range cases {
+		if got := benchLabel(in); got != want {
+			t.Errorf("benchLabel(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestCheckedInHistoryLoads pins that the repository's own BENCH files stay
+// loadable by the trajectory tooling.
+func TestCheckedInHistoryLoads(t *testing.T) {
+	paths, err := filepath.Glob("../../BENCH_*.json")
+	if err != nil || len(paths) == 0 {
+		t.Skipf("no checked-in BENCH files: %v", err)
+	}
+	entries, err := LoadBenchHistory(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := NewTrajectory(entries)
+	if len(traj.Engine) == 0 {
+		t.Fatal("no engine rows from checked-in history")
+	}
+}

@@ -1,0 +1,54 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ValidateCSV checks one cell's CSV document against its family schema:
+// the header must match exactly, every record must have the header's field
+// count, at least schema.MinRows data rows must be present (1 when the
+// schema leaves it zero), and when the executor computed an exact expected
+// row count (wantRows > 0) the document must match it. It returns the data
+// row count so the manifest can record it.
+func ValidateCSV(doc string, schema Schema, wantRows int) (int, error) {
+	r := csv.NewReader(strings.NewReader(doc))
+	r.FieldsPerRecord = len(schema.Header)
+	header, err := r.Read()
+	if err == io.EOF {
+		return 0, fmt.Errorf("empty CSV (expected header %s)", strings.Join(schema.Header, ","))
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad CSV header: %w", err)
+	}
+	for i, h := range schema.Header {
+		if header[i] != h {
+			return 0, fmt.Errorf("CSV header column %d is %q, want %q (full header: %s)",
+				i, header[i], h, strings.Join(schema.Header, ","))
+		}
+	}
+	rows := 0
+	for {
+		_, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return rows, fmt.Errorf("bad CSV row %d: %w", rows+1, err)
+		}
+		rows++
+	}
+	min := schema.MinRows
+	if min <= 0 {
+		min = 1
+	}
+	if rows < min {
+		return rows, fmt.Errorf("CSV has %d data rows, want at least %d", rows, min)
+	}
+	if wantRows > 0 && rows != wantRows {
+		return rows, fmt.Errorf("CSV has %d data rows, want exactly %d", rows, wantRows)
+	}
+	return rows, nil
+}

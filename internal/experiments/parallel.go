@@ -78,6 +78,11 @@ func forEachCell(n, parallelism int, cell func(i int)) {
 	}
 }
 
+// ForEachCell exposes the bounded worker pool to the other harness layers
+// (the campaign runner fans its grid cells out through it), with the same
+// determinism and panic-propagation contract as the in-package sweeps.
+func ForEachCell(n, parallelism int, cell func(i int)) { forEachCell(n, parallelism, cell) }
+
 // firstError returns the first non-nil error of a per-cell error slice, in
 // cell order — the deterministic analogue of the sequential early return.
 func firstError(errs []error) error {

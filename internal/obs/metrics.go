@@ -2,28 +2,39 @@ package obs
 
 import (
 	"fmt"
+	"sort"
 
 	"netdimm/internal/stats"
 )
 
 // metricsTable flattens every cell's registry into one table: counters and
 // gauges report their value, series report last/max/points. Rows follow
-// cell-index then creation order, so output is deterministic and identical
-// across parallelism levels.
+// cell-index order, then sort by metric name (kind breaks ties) within a
+// cell — a stable contract that does not depend on registration order, so
+// two runs of the same experiment render byte-identical CSVs even when
+// instrumentation points register in different interleavings.
 func (o *Observer) metricsTable() *stats.Table {
 	t := &stats.Table{Header: []string{"cell", "kind", "metric", "value", "max", "points"}}
 	for _, c := range o.Cells() {
 		reg := c.Metrics()
+		var rows [][]string
 		for _, m := range reg.Counters() {
-			t.AddRow(c.Label(), "counter", m.Name(), fmt.Sprintf("%d", m.Value()), "", "")
+			rows = append(rows, []string{c.Label(), "counter", m.Name(), fmt.Sprintf("%d", m.Value()), "", ""})
 		}
 		for _, m := range reg.Gauges() {
-			t.AddRow(c.Label(), "gauge", m.Name(), fmt.Sprintf("%d", m.Value()), "", "")
+			rows = append(rows, []string{c.Label(), "gauge", m.Name(), fmt.Sprintf("%d", m.Value()), "", ""})
 		}
 		for _, m := range reg.AllSeries() {
-			t.AddRow(c.Label(), "series", m.Name(),
-				fmt.Sprintf("%d", m.Last()), fmt.Sprintf("%d", m.Max()), fmt.Sprintf("%d", m.Count()))
+			rows = append(rows, []string{c.Label(), "series", m.Name(),
+				fmt.Sprintf("%d", m.Last()), fmt.Sprintf("%d", m.Max()), fmt.Sprintf("%d", m.Count())})
 		}
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i][2] != rows[j][2] {
+				return rows[i][2] < rows[j][2]
+			}
+			return rows[i][1] < rows[j][1]
+		})
+		t.Rows = append(t.Rows, rows...)
 	}
 	return t
 }

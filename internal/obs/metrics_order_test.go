@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The metrics table sorts rows by metric name (kind breaking ties) within
+// each cell, so rendered output does not depend on the order
+// instrumentation points happened to register — the property the campaign
+// harness's byte-identical metrics CSVs rely on.
+func TestMetricsRowsSortedWithinCell(t *testing.T) {
+	o := New(Spec{Metrics: true}, "c0", "c1")
+	// Register deliberately out of name order, mixing kinds.
+	r0 := o.Cell(0).Metrics()
+	r0.Series("zeta.q").Sample(1, 1)
+	r0.Counter("alpha.bytes").Add(1)
+	r0.Gauge("mid.depth").Set(2)
+	r1 := o.Cell(1).Metrics()
+	r1.Counter("beta.bytes").Add(3)
+	r1.Counter("alpha.bytes").Add(4)
+
+	csv := o.MetricsCSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	want := []string{
+		"cell,kind,metric,value,max,points",
+		"c0,counter,alpha.bytes,1,,",
+		"c0,gauge,mid.depth,2,,",
+		"c0,series,zeta.q,1,1,1",
+		"c1,counter,alpha.bytes,4,,",
+		"c1,counter,beta.bytes,3,,",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines, want %d:\n%s", len(lines), len(want), csv)
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+// Same-name metrics of different kinds order by kind (counter < gauge <
+// series, alphabetically) — a total order, so ties cannot reshuffle.
+func TestMetricsKindTiebreak(t *testing.T) {
+	o := New(Spec{Metrics: true}, "c")
+	reg := o.Cell(0).Metrics()
+	reg.Series("dup").Sample(1, 1)
+	reg.Gauge("dup").Set(2)
+	reg.Counter("dup").Add(3)
+	csv := o.MetricsCSV()
+	ci := strings.Index(csv, "counter")
+	gi := strings.Index(csv, "gauge")
+	si := strings.Index(csv, "series")
+	if !(ci < gi && gi < si) {
+		t.Fatalf("kind tiebreak order wrong:\n%s", csv)
+	}
+}

@@ -239,3 +239,38 @@ func (t *Table) String() string {
 	}
 	return sb.String()
 }
+
+// Markdown renders the table as a GitHub-flavored markdown table. Pipe
+// characters in cells are escaped, and ragged rows are padded (or
+// truncated rows simply end early) against the widest row, mirroring
+// String's tolerance.
+func (t *Table) Markdown() string {
+	cols := len(t.Header)
+	for _, row := range t.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		sb.WriteString("|")
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = strings.ReplaceAll(cells[i], "|", `\|`)
+			}
+			sb.WriteString(" " + c + " |")
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sb.WriteString("|")
+	for i := 0; i < cols; i++ {
+		sb.WriteString(" --- |")
+	}
+	sb.WriteString("\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -268,3 +268,14 @@ func TestTableRaggedRows(t *testing.T) {
 		t.Errorf("headerless table String = %q", out)
 	}
 }
+
+func TestTableMarkdown(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b"}}
+	tb.AddRow("1", "x|y")
+	tb.AddRow("2") // ragged short row pads out
+	got := tb.Markdown()
+	want := "| a | b |\n| --- | --- |\n| 1 | x\\|y |\n| 2 |  |\n"
+	if got != want {
+		t.Fatalf("Markdown:\ngot  %q\nwant %q", got, want)
+	}
+}

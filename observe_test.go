@@ -1,0 +1,119 @@
+package netdimm
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails after accepting n bytes, exercising WriteTrace's error
+// propagation.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, errors.New("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// A nil Observation — what every Run*Observed entry point returns when
+// cfg.Obs is zero — must be fully inert: queries report nothing and
+// WriteTrace still writes a valid, empty trace document.
+func TestNilObservationNoOps(t *testing.T) {
+	var ob *Observation
+	if ob.Enabled() {
+		t.Error("nil observation reports Enabled")
+	}
+	if ob.HasMetrics() {
+		t.Error("nil observation reports HasMetrics")
+	}
+	if got := ob.MetricsTable(); got != "" {
+		t.Errorf("nil MetricsTable = %q, want empty", got)
+	}
+	if got := ob.MetricsCSV(); got != "" {
+		t.Errorf("nil MetricsCSV = %q, want empty", got)
+	}
+	var buf bytes.Buffer
+	if err := ob.WriteTrace(&buf); err != nil {
+		t.Fatalf("nil WriteTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ns" || len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil trace content: %s", buf.String())
+	}
+}
+
+// A disabled run returns a nil observation rather than an empty one.
+func TestDisabledRunReturnsNilObservation(t *testing.T) {
+	cfg := DefaultConfig()
+	_, ob, err := RunMixedChannelObserved(cfg, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ob != nil {
+		t.Fatalf("zero cfg.Obs produced a non-nil observation: %+v", ob)
+	}
+}
+
+func TestWriteTraceFailingWriter(t *testing.T) {
+	var nilOb *Observation
+	if err := nilOb.WriteTrace(&failWriter{}); err == nil {
+		t.Error("nil observation: failing writer error swallowed")
+	}
+	cfg := DefaultConfig()
+	cfg.Obs.Trace = true
+	_, ob, err := RunMixedChannelObserved(cfg, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ob.Enabled() {
+		t.Fatal("traced run returned a disabled observation")
+	}
+	if err := ob.WriteTrace(&failWriter{n: 16}); err == nil {
+		t.Error("enabled observation: failing writer error swallowed")
+	}
+	var buf bytes.Buffer
+	if err := ob.WriteTrace(&buf); err != nil {
+		t.Fatalf("healthy writer: %v", err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatalf("trace content: %s", buf.String())
+	}
+}
+
+// Two identical observed runs must render byte-identical metrics CSVs —
+// the per-cell determinism contract the campaign harness extends to whole
+// directories.
+func TestMetricsCSVByteIdenticalAcrossRuns(t *testing.T) {
+	run := func() string {
+		cfg := DefaultConfig()
+		cfg.Obs.Metrics = true
+		_, _, ob, err := RunFaultSweepObserved(cfg, []float64{0, 0.01}, 60, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ob.HasMetrics() {
+			t.Fatal("metrics run collected nothing")
+		}
+		return ob.MetricsCSV()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("metrics CSV differs across identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("empty metrics CSV")
+	}
+}

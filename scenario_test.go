@@ -156,7 +156,9 @@ func TestScenarioFig11Ordering(t *testing.T) {
 }
 
 // Every scenario file shipped in scenarios/ must load and validate — they
-// are the documented -scenario entry points.
+// are the documented -scenario entry points. Campaign grids (campaign-*.json)
+// live in the same directory but are -grid documents, validated through the
+// campaign loader instead.
 func TestCommittedScenarioFiles(t *testing.T) {
 	paths, err := filepath.Glob("scenarios/*.json")
 	if err != nil {
@@ -166,6 +168,12 @@ func TestCommittedScenarioFiles(t *testing.T) {
 		t.Fatal("no committed scenario files found")
 	}
 	for _, path := range paths {
+		if strings.HasPrefix(filepath.Base(path), "campaign-") {
+			if _, err := LoadCampaignGrid(path); err != nil {
+				t.Errorf("%s: %v", path, err)
+			}
+			continue
+		}
 		if _, err := LoadScenario(path); err != nil {
 			t.Errorf("%s: %v", path, err)
 		}
