@@ -37,6 +37,9 @@ func CampaignSchemas() map[string]campaign.Schema {
 			"outage_drops", "burst_drops", "rerouted", "retransmits", "recovered",
 			"reroute_ns", "mean_recovery_ns", "during_offered", "during_delivered",
 			"p99_before_ns", "p99_during_ns", "p99_after_ns", "p999_after_ns", "tail_inflation"}, MinRows: 3},
+		"collsweep": {Header: []string{"arch", "op", "ranks", "payload_bytes", "steps",
+			"completion_ns", "step_skew_ns", "bytes_on_wire", "frames", "delivered",
+			"dropped", "marked", "link_util"}, MinRows: 3},
 	}
 }
 
@@ -263,6 +266,30 @@ func runCampaignCell(c campaign.Cell) (campaign.Result, error) {
 		}
 		res.CSV = stats.CSV(schema.Header, out)
 		res.WantRows = 3 * lenOr(len(c.Outages), 4)
+		res.MetricsCSV = ob.MetricsCSV()
+		res.TraceJSON = captureTrace(ob, c.Trace)
+
+	case "collsweep":
+		if c.Payload > 0 {
+			cfg.Collective.PayloadBytes = c.Payload
+		}
+		rows, ob, err := RunCollSweepObserved(cfg, c.Ranks, c.Ops, c.Seed, 1)
+		if err != nil {
+			return res, err
+		}
+		var out [][]string
+		for _, r := range rows {
+			out = append(out, []string{r.Arch, r.Op, fmt.Sprint(r.Ranks),
+				fmt.Sprint(r.PayloadBytes), fmt.Sprint(r.Steps),
+				fmt.Sprint(r.Completion.Nanoseconds()), fmt.Sprint(r.StepSkew.Nanoseconds()),
+				fmt.Sprint(r.BytesOnWire), fmt.Sprint(r.Frames), fmt.Sprint(r.Delivered),
+				fmt.Sprint(r.Dropped), fmt.Sprint(r.Marked),
+				fmt.Sprintf("%.4f", r.LinkUtilization)})
+		}
+		res.CSV = stats.CSV(schema.Header, out)
+		if len(c.Ranks) > 0 && len(c.Ops) > 0 {
+			res.WantRows = 3 * len(c.Ranks) * len(c.Ops)
+		}
 		res.MetricsCSV = ob.MetricsCSV()
 		res.TraceJSON = captureTrace(ob, c.Trace)
 

@@ -152,7 +152,7 @@ func TestLoadCampaignGridDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if g.Name != "campaign-default" || len(g.Experiments) != 8 {
+	if g.Name != "campaign-default" || len(g.Experiments) != 9 {
 		t.Fatalf("default grid: name=%q rows=%d", g.Name, len(g.Experiments))
 	}
 	// Every registered family appears exactly once.

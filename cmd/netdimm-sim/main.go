@@ -6,9 +6,9 @@
 //	netdimm-sim [flags] <experiment>
 //
 // Experiments: table1, fig4, fig5, fig7, fig11, fig12a, fig12b, faultsweep,
-// loadsweep, racksweep, failsweep, headline, all. The -scenario flag selects
-// the simulated system: a named preset (table1, ddr5, pcie-gen3,
-// multi-netdimm-4, lossy-1pct) or a JSON config file.
+// loadsweep, racksweep, failsweep, collsweep, headline, all. The -scenario
+// flag selects the simulated system: a named preset (table1, ddr5,
+// pcie-gen3, multi-netdimm-4, lossy-1pct) or a JSON config file.
 package main
 
 import (
@@ -39,7 +39,33 @@ var (
 	cluster    = flag.String("cluster", "", "traffic distribution for loadsweep: database, webserver or hadoop (default scenario value or database)")
 	traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON file of the run (fig11, faultsweep, mixed); open in ui.perfetto.dev")
 	metrics    = flag.Bool("metrics", false, "collect and print the metrics registry after the experiment output (fig11, faultsweep, mixed)")
+	rankList   = flag.String("ranks", "", "comma-separated rank counts for collsweep (default 4,8,16,32,64,128; a scenario Collective.Ranks pins one)")
+	opsList    = flag.String("ops", "", "comma-separated collective ops for collsweep: allreduce, broadcast, reducescatter (default all three; a scenario Collective.Op pins one)")
+	payload    = flag.Int("payload", 0, "per-rank vector bytes for collsweep (0 = scenario value or 64KiB)")
 )
+
+// flagWasSet reports whether the named flag was given explicitly on the
+// command line (flag.Visit walks only the flags that were set).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// explicitPackets returns the -n value only when the flag was given
+// explicitly, and 0 otherwise. The -n default of 1000 suits single-switch
+// cells; the clos-scale sweeps split it across hundreds of hosts, so from 0
+// each sweep applies its own per-cell default instead.
+func explicitPackets() int {
+	if flagWasSet("n") {
+		return *packets
+	}
+	return 0
+}
 
 // obsConfig arms cfg.Obs from the -trace / -metrics flags; with neither
 // flag set the configuration is returned unchanged and runs stay
@@ -121,6 +147,7 @@ var commands = []command{
 	{"loadsweep", "rack-scale incast: latency vs offered load, with saturation knees", false, runLoadSweep},
 	{"racksweep", "leaf/spine clos: latency vs load across rack counts, ECN on/off", false, runRackSweep},
 	{"failsweep", "scheduled spine outage: ECMP failover, ARQ recovery time, tail inflation", false, runFailSweep},
+	{"collsweep", "collective completion: Ring AllReduce / tree Broadcast / Reduce-Scatter vs rank count", false, runCollSweep},
 	{"headline", "the abstract's summary numbers", true, runHeadline},
 	{"bench", "machine-readable benchmark report (JSON; see -benchn)", false, func(netdimm.Config) error { return runBench() }},
 	{"campaign", "run a grid of experiments from -grid FILE into a timestamped output dir", false, runCampaign},
@@ -567,11 +594,11 @@ func runLoadSweep(cfg netdimm.Config) error {
 	}
 	fmt.Println("\nSaturation knees (highest load with p99 within the knee factor of baseline)")
 	for _, k := range knees {
-		state := "saturates beyond"
 		if !k.Saturated {
-			state = "unsaturated through"
+			fmt.Printf("  %-8s no knee: curve never saturated within the swept grid\n", k.Arch)
+			continue
 		}
-		fmt.Printf("  %-8s %s %g of line rate\n", k.Arch, state, k.Knee)
+		fmt.Printf("  %-8s saturates beyond %g of line rate\n", k.Arch, k.Knee)
 	}
 	return nil
 }
@@ -611,16 +638,7 @@ func runRackSweep(cfg netdimm.Config) error {
 	if *shards != 0 {
 		cfg.Load.Shards = *shards
 	}
-	// The -n default of 1000 suits single-switch cells; a 256-host clos
-	// splits it sixteen ways. Unless -n was given explicitly, pass 0 so
-	// the sweep's own per-cell default applies.
-	n := 0
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "n" {
-			n = *packets
-		}
-	})
-	rows, knees, ob, err := netdimm.RunRackSweepObserved(obsConfig(cfg), racks, rates, n, *seed, *parallel)
+	rows, knees, ob, err := netdimm.RunRackSweepObserved(obsConfig(cfg), racks, rates, explicitPackets(), *seed, *parallel)
 	if err != nil {
 		return err
 	}
@@ -656,12 +674,13 @@ func runRackSweep(cfg netdimm.Config) error {
 	}
 	fmt.Println("\nSaturation knees per (arch, racks, ECN) curve")
 	for _, k := range knees {
-		state := "saturates beyond"
 		if !k.Saturated {
-			state = "unsaturated through"
+			fmt.Printf("  %-8s racks=%d ecn=%-3s no knee: curve never saturated within the swept grid\n",
+				k.Arch, k.Racks, ecnStr(k.ECN))
+			continue
 		}
-		fmt.Printf("  %-8s racks=%d ecn=%-3s %s %g of line rate\n",
-			k.Arch, k.Racks, ecnStr(k.ECN), state, k.Knee)
+		fmt.Printf("  %-8s racks=%d ecn=%-3s saturates beyond %g of line rate\n",
+			k.Arch, k.Racks, ecnStr(k.ECN), k.Knee)
 	}
 	return nil
 }
@@ -702,15 +721,7 @@ func runFailSweep(cfg netdimm.Config) error {
 	if *shards != 0 {
 		cfg.Load.Shards = *shards
 	}
-	// Like racksweep: the -n default suits single-switch cells; unless -n
-	// was given explicitly, pass 0 so the sweep's own default applies.
-	n := 0
-	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "n" {
-			n = *packets
-		}
-	})
-	rows, ob, err := netdimm.RunFailSweepObserved(obsConfig(cfg), outages, n, *seed, *parallel)
+	rows, ob, err := netdimm.RunFailSweepObserved(obsConfig(cfg), outages, explicitPackets(), *seed, *parallel)
 	if err != nil {
 		return err
 	}
@@ -748,6 +759,77 @@ func runFailSweep(cfg netdimm.Config) error {
 		fmt.Printf("%-8s  %7v  %9d  %7d  %8d  %8d  %7d  %9s  %10v  %10v  %10v  %9s\n",
 			r.Arch, r.Outage, r.Delivered, r.Dropped, r.Rerouted, r.Retransmits, r.Recovered,
 			reroute, r.MeanRecovery, r.P99Before, r.P99After, inflation)
+	}
+	return nil
+}
+
+// parseRanks parses the -ranks flag; an empty flag selects the default
+// grid (or the scenario's pinned Collective.Ranks).
+func parseRanks(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var ranks []int
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("collsweep: bad rank count %q: %v", part, err)
+		}
+		ranks = append(ranks, r)
+	}
+	return ranks, nil
+}
+
+// parseOps parses the -ops flag; an empty flag selects all operations (or
+// the scenario's pinned Collective.Op).
+func parseOps(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var ops []string
+	for _, part := range strings.Split(s, ",") {
+		ops = append(ops, strings.TrimSpace(part))
+	}
+	return ops
+}
+
+func runCollSweep(cfg netdimm.Config) error {
+	ranks, err := parseRanks(*rankList)
+	if err != nil {
+		return err
+	}
+	if *payload != 0 {
+		cfg.Collective.PayloadBytes = *payload
+	}
+	if *shards != 0 {
+		cfg.Load.Shards = *shards
+	}
+	rows, ob, err := netdimm.RunCollSweepObserved(obsConfig(cfg), ranks, parseOps(*opsList), *seed, *parallel)
+	if err != nil {
+		return err
+	}
+	defer emitObservation(ob)
+	if *asCSV {
+		csvOut("arch", "op", "ranks", "payload_bytes", "steps",
+			"completion_ns", "step_skew_ns", "bytes_on_wire", "frames", "delivered",
+			"dropped", "marked", "link_util")
+		for _, r := range rows {
+			csvOut(r.Arch, r.Op, fmt.Sprint(r.Ranks),
+				fmt.Sprint(r.PayloadBytes), fmt.Sprint(r.Steps),
+				fmt.Sprint(r.Completion.Nanoseconds()), fmt.Sprint(r.StepSkew.Nanoseconds()),
+				fmt.Sprint(r.BytesOnWire), fmt.Sprint(r.Frames), fmt.Sprint(r.Delivered),
+				fmt.Sprint(r.Dropped), fmt.Sprint(r.Marked),
+				fmt.Sprintf("%.4f", r.LinkUtilization))
+		}
+		return nil
+	}
+	fmt.Println("Collective sweep — completion time vs rank count (every cell verified against a sequential reference)")
+	fmt.Printf("%-8s  %-13s  %5s  %5s  %12s  %11s  %10s  %7s  %6s\n",
+		"arch", "op", "ranks", "steps", "completion", "step skew", "wire bytes", "marked", "util")
+	for _, r := range rows {
+		fmt.Printf("%-8s  %-13s  %5d  %5d  %12v  %11v  %10d  %7d  %5.1f%%\n",
+			r.Arch, r.Op, r.Ranks, r.Steps, r.Completion, r.StepSkew,
+			r.BytesOnWire, r.Marked, r.LinkUtilization*100)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"netdimm/internal/collective"
 	"netdimm/internal/fabric"
 	"netdimm/internal/fault"
 	"netdimm/internal/obs"
@@ -41,6 +42,15 @@ type LoadConfig = workload.LoadSpec
 // the zero value is the degenerate single-switch fabric every experiment
 // built before the fabric plane existed and changes no output.
 type FabricConfig = fabric.Spec
+
+// CollectiveConfig shapes the collective-communication sweep (the
+// `collsweep` experiment): which operation runs (ring allreduce, tree
+// broadcast, reduce-scatter), over how many ranks, moving how much data in
+// what chunk sizes. It aliases the internal collective.Spec so Config
+// converts to the derivation form directly; the zero value selects the
+// sweep defaults (all three ops over the 4–128 rank grid) and affects no
+// other experiment's output.
+type CollectiveConfig = collective.Spec
 
 // Config is the simulated system configuration — the paper's Table 1. It is
 // the single authoritative system specification: every machine constructor
@@ -82,6 +92,9 @@ type Config struct {
 	// (leaf/spine clos, ECMP, ECN); see FabricConfig. Leave zero for the
 	// single-switch incast.
 	Fabric FabricConfig
+	// Collective shapes the collective-communication sweep (the `collsweep`
+	// experiment); see CollectiveConfig. Leave zero for the sweep defaults.
+	Collective CollectiveConfig
 }
 
 // DefaultConfig returns Table 1 of the paper.
@@ -159,6 +172,18 @@ func (c Config) Table() string {
 			ecn = fmt.Sprintf("mark@%d, backoff %dns", f.ECNThreshold, f.ECNBackoffNs)
 		}
 		row("Fabric", fmt.Sprintf("%d leaves x %d spines, ECN %s", f.Leaves, f.Spines, ecn))
+	}
+	if c.Collective != (CollectiveConfig{}) {
+		payload := c.Collective.PayloadBytes
+		if payload == 0 {
+			payload = collective.DefaultPayloadBytes
+		}
+		ranks := "4-128 ranks"
+		if c.Collective.Ranks != 0 {
+			ranks = fmt.Sprintf("%d ranks", c.Collective.Ranks)
+		}
+		row("Collective", fmt.Sprintf("%s, %s, %dB payload",
+			orDefault(c.Collective.Op, "all ops"), ranks, payload))
 	}
 	return sb.String()
 }

@@ -82,6 +82,14 @@ type Experiment struct {
 	// Shards overrides Load.Shards (0 = scenario; results are identical
 	// at any shard count).
 	Shards int
+	// Ranks is the rank-count axis of collsweep (nil = {4,...,128}).
+	Ranks []int
+	// Ops is the operation axis of collsweep: any of "allreduce",
+	// "broadcast", "reducescatter" (nil = all three).
+	Ops []string
+	// Payload overrides Collective.PayloadBytes for collsweep (0 =
+	// scenario, whose zero means 64KiB).
+	Payload int
 	// Metrics arms the metrics registry for the row's cells; the registry
 	// CSV is written next to the cell's result CSV.
 	Metrics bool
@@ -191,6 +199,21 @@ func (g Grid) Validate(known map[string]Schema) error {
 				return at("bad outage duration %q: %v (use Go duration syntax, e.g. \"20us\", or \"0\")", o, err)
 			}
 		}
+		if e.Payload < 0 {
+			return at("Payload %d must be non-negative", e.Payload)
+		}
+		for _, r := range e.Ranks {
+			if r < 2 {
+				return at("rank count %d must be at least 2", r)
+			}
+		}
+		for _, op := range e.Ops {
+			switch op {
+			case "allreduce", "broadcast", "reducescatter":
+			default:
+				return at("unknown collective op %q (want allreduce, broadcast or reducescatter)", op)
+			}
+		}
 	}
 	return nil
 }
@@ -242,6 +265,9 @@ type Cell struct {
 	Outages  []time.Duration
 	Hosts    int
 	Shards   int
+	Ranks    []int
+	Ops      []string
+	Payload  int
 	Metrics  bool
 	Trace    bool
 }
@@ -301,6 +327,9 @@ func (g Grid) Plan() ([]Cell, error) {
 				Outages:    outages,
 				Hosts:      e.Hosts,
 				Shards:     e.Shards,
+				Ranks:      e.Ranks,
+				Ops:        e.Ops,
+				Payload:    e.Payload,
 				Metrics:    e.Metrics,
 				Trace:      e.Trace,
 			}

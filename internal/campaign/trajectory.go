@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 
 	"netdimm/internal/stats"
@@ -71,8 +73,13 @@ func LoadBenchFile(path string) (BenchEntry, error) {
 	return e, nil
 }
 
-// LoadBenchHistory parses a list of bench reports in trajectory order
-// (oldest first; the last entry is the one the gate judges).
+// LoadBenchHistory parses a list of bench reports and puts them in
+// canonical trajectory order: the seed report first, pr<N> reports by PR
+// number, anything else after in input order; the last entry is the one
+// the gate judges. Callers may therefore pass paths in any order — in
+// particular a lexical glob, where BENCH_pr10 sorts before BENCH_pr2 —
+// without flipping which entry holds best-in-history and with it the
+// final verdict.
 func LoadBenchHistory(paths []string) ([]BenchEntry, error) {
 	var entries []BenchEntry
 	for _, p := range paths {
@@ -82,7 +89,31 @@ func LoadBenchHistory(paths []string) ([]BenchEntry, error) {
 		}
 		entries = append(entries, e)
 	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		ci, ni := benchRank(entries[i].Label)
+		cj, nj := benchRank(entries[j].Label)
+		if ci != cj {
+			return ci < cj
+		}
+		return ni < nj
+	})
 	return entries, nil
+}
+
+// benchRank classifies a report label for canonical history ordering:
+// class 0 is the seed, class 1 a pr<N> label ordered by N, class 2
+// everything else (e.g. "current"), which keeps its input position via the
+// stable sort.
+func benchRank(label string) (class, n int) {
+	if label == "seed" {
+		return 0, 0
+	}
+	if rest := strings.TrimPrefix(label, "pr"); rest != label {
+		if v, err := strconv.Atoi(rest); err == nil {
+			return 1, v
+		}
+	}
+	return 2, 0
 }
 
 // benchLabel derives the trajectory label from a report filename:
@@ -182,6 +213,10 @@ func NewTrajectory(entries []BenchEntry) TrajectoryReport {
 				}
 			}
 			rep.Engine = append(rep.Engine, row)
+			// Strictly-less: when two entries tie on the best ns/op (or
+			// allocs/op) the earlier one keeps the title, so the gate's
+			// reference — and the BestPR attribution in the report — is
+			// deterministic under the canonical history order.
 			if ns, ok := bestNs[b.Name]; !ok || b.NsPerOp < ns {
 				bestNs[b.Name] = b.NsPerOp
 				bestNsPR[b.Name] = e.Label

@@ -84,6 +84,85 @@ func TestTrajectoryNewBenchmarkIsBaseline(t *testing.T) {
 	}
 }
 
+// TestTrajectoryTieGatesAgainstEarlier pins the tie rule: when two
+// entries share the best ns/op, the earlier one keeps best-in-history, so
+// the final verdict and its BestPR attribution are deterministic.
+func TestTrajectoryTieGatesAgainstEarlier(t *testing.T) {
+	traj := NewTrajectory([]BenchEntry{
+		entry("seed", 14.0, 0),
+		entry("pr6", 14.0, 0), // ties the seed: seed stays best
+		entry("pr9", 16.0, 0), // +14.3% vs best -> regression
+	})
+	if len(traj.Engine) != 3 {
+		t.Fatalf("rows: %d", len(traj.Engine))
+	}
+	if got := traj.Engine[1].BestPR; got != "seed" {
+		t.Errorf("tied entry compared against %q, want the earlier %q", got, "seed")
+	}
+	if got := traj.Engine[2].BestPR; got != "seed" {
+		t.Errorf("final entry gated against %q, want the earlier tied %q", got, "seed")
+	}
+	if regs := traj.Regressions(); len(regs) != 1 || !strings.Contains(regs[0], "(seed)") {
+		t.Fatalf("regression must cite the earlier tied best: %v", regs)
+	}
+}
+
+// TestLoadBenchHistoryCanonicalOrder pins the ordering fix: a lexical glob
+// hands over BENCH_pr10 before BENCH_pr2, and before the canonical sort
+// that flipped which entry held best-in-history — and with it the verdict.
+func TestLoadBenchHistoryCanonicalOrder(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	mk := func(name string, ns string) string {
+		return write(name, `{"engine":[{"name":"EngineSchedule","ns_per_op":`+ns+`,"allocs_per_op":0,"bytes_per_op":0}]}`)
+	}
+	// Lexical order: BENCH_pr10 < BENCH_pr2 < BENCH_seed < current.
+	paths := []string{
+		mk("BENCH_pr10.json", "12.0"),
+		mk("BENCH_pr2.json", "10.0"),
+		mk("BENCH_seed.json", "15.0"),
+		write("current.json", `{"engine":[{"name":"EngineSchedule","ns_per_op":12.5,"allocs_per_op":0,"bytes_per_op":0}]}`),
+	}
+	entries, err := LoadBenchHistory(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, e := range entries {
+		got = append(got, e.Label)
+	}
+	want := []string{"seed", "pr2", "pr10", "current"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("canonical order %v, want %v", got, want)
+	}
+	// The verdict must be identical for any input permutation.
+	traj := NewTrajectory(entries)
+	final := traj.Engine[len(traj.Engine)-1]
+	if final.PR != "current" || final.BestPR != "pr2" || !strings.HasPrefix(final.Verdict, "regression") {
+		t.Fatalf("final row %+v, want regression vs pr2", final)
+	}
+	for _, perm := range [][]string{
+		{paths[3], paths[0], paths[1], paths[2]},
+		{paths[2], paths[1], paths[0], paths[3]},
+	} {
+		e2, err := LoadBenchHistory(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2 := NewTrajectory(e2)
+		f2 := t2.Engine[len(t2.Engine)-1]
+		if f2 != final {
+			t.Fatalf("verdict flipped with input order: %+v vs %+v", f2, final)
+		}
+	}
+}
+
 func TestTrajectoryDeterminismFailureGates(t *testing.T) {
 	bad := false
 	e := entry("pr9", 10.0, 0)

@@ -133,7 +133,10 @@ type LoadRow struct {
 type LoadKnee struct {
 	Arch string
 	// Knee is the highest swept load whose p99 stayed within
-	// KneeFactor x the lowest swept load's p99.
+	// KneeFactor x the lowest swept load's p99; it is only meaningful
+	// when Saturated is true. An unsaturated curve — including the
+	// degenerate single-load grid, which cannot bracket a knee — reports
+	// the explicit no-knee result {Knee: 0, Saturated: false}.
 	Knee float64
 	// Saturated reports whether any swept load exceeded that bound; when
 	// false the grid never reached the architecture's knee.
@@ -165,13 +168,19 @@ func DetectKnees(rows []LoadRow, kneeFactor float64) []LoadKnee {
 			}
 		}
 		base := rs[0].P99
-		knee := LoadKnee{Arch: arch, Knee: rs[0].Load}
+		knee := LoadKnee{Arch: arch}
 		for _, r := range rs {
 			if base > 0 && float64(r.P99) > kneeFactor*float64(base) {
 				knee.Saturated = true
 				break
 			}
 			knee.Knee = r.Load
+		}
+		if !knee.Saturated {
+			// The grid never crossed the bound (or had a single row, which
+			// cannot bracket a knee): report the explicit no-knee result
+			// instead of passing the top of the grid off as a knee.
+			knee.Knee = 0
 		}
 		knees = append(knees, knee)
 	}

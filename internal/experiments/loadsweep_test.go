@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -144,9 +145,54 @@ func TestDetectKnees(t *testing.T) {
 	if k := knees[0]; k.Arch != "dNIC" || k.Knee != 0.1 || !k.Saturated {
 		t.Errorf("dNIC knee = %+v, want knee 0.1 saturated", k)
 	}
-	// iNIC has no rows and is skipped; NetDIMM never exceeds 3x baseline.
-	if k := knees[1]; k.Arch != "NetDIMM" || k.Knee != 0.2 || k.Saturated {
-		t.Errorf("NetDIMM knee = %+v, want knee 0.2 unsaturated", k)
+	// iNIC has no rows and is skipped; NetDIMM never exceeds 3x baseline,
+	// so it gets the explicit no-knee result rather than the grid's top.
+	if k := knees[1]; k.Arch != "NetDIMM" || k.Knee != 0 || k.Saturated {
+		t.Errorf("NetDIMM knee = %+v, want no-knee (0, unsaturated)", k)
+	}
+}
+
+// TestDetectKneesDegenerate pins the no-knee contract on grids the
+// detector used to mislabel: empty input, a single-load row (nothing to
+// bracket a knee with) and a monotone curve that never crosses the bound
+// must all yield an explicit no-knee result, never the last row.
+func TestDetectKneesDegenerate(t *testing.T) {
+	us := sim.Microsecond
+	cases := []struct {
+		name string
+		rows []LoadRow
+		want []LoadKnee
+	}{
+		{name: "empty", rows: nil, want: nil},
+		{
+			name: "single row",
+			rows: []LoadRow{{Arch: "dNIC", Load: 0.4, P99: 5 * us}},
+			want: []LoadKnee{{Arch: "dNIC"}},
+		},
+		{
+			name: "monotone but never saturating",
+			rows: []LoadRow{
+				{Arch: "iNIC", Load: 0.05, P99: 2 * us},
+				{Arch: "iNIC", Load: 0.1, P99: 3 * us},
+				{Arch: "iNIC", Load: 0.2, P99: 5 * us},
+			},
+			want: []LoadKnee{{Arch: "iNIC"}},
+		},
+		{
+			name: "saturating curve keeps its knee",
+			rows: []LoadRow{
+				{Arch: "NetDIMM", Load: 0.05, P99: 1 * us},
+				{Arch: "NetDIMM", Load: 0.1, P99: 2 * us},
+				{Arch: "NetDIMM", Load: 0.2, P99: 9 * us},
+			},
+			want: []LoadKnee{{Arch: "NetDIMM", Knee: 0.1, Saturated: true}},
+		},
+	}
+	for _, c := range cases {
+		got := DetectKnees(c.rows, 3)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: DetectKnees = %+v, want %+v", c.name, got, c.want)
+		}
 	}
 }
 

@@ -116,7 +116,10 @@ type RackKnee struct {
 	Racks int
 	ECN   bool
 	// Knee is the highest swept load whose p99 stayed within
-	// KneeFactor x the lowest swept load's p99.
+	// KneeFactor x the lowest swept load's p99; it is only meaningful
+	// when Saturated is true. An unsaturated curve — including the
+	// degenerate single-load grid, which cannot bracket a knee — reports
+	// the explicit no-knee result {Knee: 0, Saturated: false}.
 	Knee float64
 	// Saturated reports whether any swept load exceeded that bound; when
 	// false the grid never reached the curve's knee.
@@ -153,13 +156,18 @@ func DetectRackKnees(rows []RackRow, kneeFactor float64) []RackKnee {
 			}
 		}
 		base := rs[0].P99
-		knee := RackKnee{Arch: k.arch, Racks: k.racks, ECN: k.ecn, Knee: rs[0].Load}
+		knee := RackKnee{Arch: k.arch, Racks: k.racks, ECN: k.ecn}
 		for _, r := range rs {
 			if base > 0 && float64(r.P99) > kneeFactor*float64(base) {
 				knee.Saturated = true
 				break
 			}
 			knee.Knee = r.Load
+		}
+		if !knee.Saturated {
+			// Same no-knee contract as DetectKnees: an unsaturated curve
+			// reports Knee 0 instead of the top of the grid.
+			knee.Knee = 0
 		}
 		knees = append(knees, knee)
 	}

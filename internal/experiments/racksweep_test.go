@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -126,11 +127,45 @@ func TestDetectRackKnees(t *testing.T) {
 	if k := knees[0]; k.Arch != "dNIC" || k.Racks != 2 || k.ECN || k.Knee != 0.1 || !k.Saturated {
 		t.Errorf("ecn-off knee = %+v, want knee 0.1 saturated", k)
 	}
-	if k := knees[1]; !k.ECN || k.Knee != 0.2 || k.Saturated {
-		t.Errorf("ecn-on knee = %+v, want knee 0.2 unsaturated", k)
+	// The ECN-on curve rides out the whole grid: explicit no-knee result.
+	if k := knees[1]; !k.ECN || k.Knee != 0 || k.Saturated {
+		t.Errorf("ecn-on knee = %+v, want no-knee (0, unsaturated)", k)
 	}
 	if k := knees[2]; k.Racks != 4 || k.Knee != 0.05 || !k.Saturated {
 		t.Errorf("racks=4 knee = %+v, want knee 0.05 saturated", k)
+	}
+}
+
+// TestDetectRackKneesDegenerate pins the same no-knee contract as
+// TestDetectKneesDegenerate on the per-curve rack detector.
+func TestDetectRackKneesDegenerate(t *testing.T) {
+	us := sim.Microsecond
+	cases := []struct {
+		name string
+		rows []RackRow
+		want []RackKnee
+	}{
+		{name: "empty", rows: nil, want: nil},
+		{
+			name: "single row per curve",
+			rows: []RackRow{{Arch: "dNIC", Racks: 2, Load: 0.4, P99: 5 * us}},
+			want: []RackKnee{{Arch: "dNIC", Racks: 2}},
+		},
+		{
+			name: "monotone but never saturating",
+			rows: []RackRow{
+				{Arch: "iNIC", Racks: 4, ECN: true, Load: 0.05, P99: 2 * us},
+				{Arch: "iNIC", Racks: 4, ECN: true, Load: 0.1, P99: 4 * us},
+				{Arch: "iNIC", Racks: 4, ECN: true, Load: 0.2, P99: 5 * us},
+			},
+			want: []RackKnee{{Arch: "iNIC", Racks: 4, ECN: true}},
+		},
+	}
+	for _, c := range cases {
+		got := DetectRackKnees(c.rows, 3)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: DetectRackKnees = %+v, want %+v", c.name, got, c.want)
+		}
 	}
 }
 

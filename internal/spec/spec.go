@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"netdimm/internal/addrmap"
+	"netdimm/internal/collective"
 	"netdimm/internal/core"
 	"netdimm/internal/cpu"
 	"netdimm/internal/dram"
@@ -45,6 +46,11 @@ type LoadSpec = workload.LoadSpec
 // FabricSpec is the network-topology block of a specification; it aliases
 // fabric.Spec for the same direct-conversion reason as FaultSpec.
 type FabricSpec = fabric.Spec
+
+// CollectiveSpec is the collective-communication block of a specification;
+// it aliases collective.Spec for the same direct-conversion reason as
+// FaultSpec.
+type CollectiveSpec = collective.Spec
 
 // Spec is the full simulated-system specification. Its fields mirror the
 // root netdimm.Config exactly (same names, types and order), so the two
@@ -88,6 +94,10 @@ type Spec struct {
 	// single-switch fabric every pre-fabric experiment built, changing no
 	// output.
 	Fabric FabricSpec
+	// Collective shapes the collective-communication sweep (operation,
+	// rank count, payload and chunk sizes); the zero value selects the
+	// sweep defaults and affects no other experiment.
+	Collective CollectiveSpec
 }
 
 // TableOne returns the paper's Table 1 specification.
@@ -169,6 +179,9 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("spec: %w", err)
 	}
 	if err := s.Fabric.Validate(); err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	if err := s.Collective.Validate(); err != nil {
 		return fmt.Errorf("spec: %w", err)
 	}
 	return nil

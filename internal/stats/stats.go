@@ -240,10 +240,23 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// Markdown renders the table as a GitHub-flavored markdown table. Pipe
-// characters in cells are escaped, and ragged rows are padded (or
-// truncated rows simply end early) against the widest row, mirroring
-// String's tolerance.
+// markdownCellEscaper rewrites the characters that break a markdown
+// table's structure: pipes would open a new column and raw newlines would
+// end the row mid-cell, so pipes are backslash-escaped and line breaks
+// become <br> (the only in-cell line break GitHub-flavored markdown
+// renders).
+var markdownCellEscaper = strings.NewReplacer(
+	"|", `\|`,
+	"\r\n", "<br>",
+	"\n", "<br>",
+	"\r", "<br>",
+)
+
+// Markdown renders the table as a GitHub-flavored markdown table. Pipe and
+// newline characters in cells are escaped (a scenario name containing
+// either would otherwise corrupt every row after it), and ragged rows are
+// padded (or truncated rows simply end early) against the widest row,
+// mirroring String's tolerance.
 func (t *Table) Markdown() string {
 	cols := len(t.Header)
 	for _, row := range t.Rows {
@@ -257,7 +270,7 @@ func (t *Table) Markdown() string {
 		for i := 0; i < cols; i++ {
 			c := ""
 			if i < len(cells) {
-				c = strings.ReplaceAll(cells[i], "|", `\|`)
+				c = markdownCellEscaper.Replace(cells[i])
 			}
 			sb.WriteString(" " + c + " |")
 		}

@@ -279,3 +279,25 @@ func TestTableMarkdown(t *testing.T) {
 		t.Fatalf("Markdown:\ngot  %q\nwant %q", got, want)
 	}
 }
+
+// TestTableMarkdownEscapesNewlines pins the cell-escaping contract: a cell
+// holding newlines (any flavour) must render as one markdown table row —
+// a raw newline would end the row mid-cell and corrupt every row after it.
+func TestTableMarkdownEscapesNewlines(t *testing.T) {
+	tb := &Table{Header: []string{"scenario", "verdict"}}
+	tb.AddRow("multi\nline", "crlf\r\nhere")
+	tb.AddRow("bare\rcr", "mix|ed\npipe")
+	got := tb.Markdown()
+	want := "| scenario | verdict |\n| --- | --- |\n" +
+		"| multi<br>line | crlf<br>here |\n" +
+		"| bare<br>cr | mix\\|ed<br>pipe |\n"
+	if got != want {
+		t.Fatalf("Markdown:\ngot  %q\nwant %q", got, want)
+	}
+	// Structural check: every rendered line has the same column count.
+	for i, line := range strings.Split(strings.TrimSuffix(got, "\n"), "\n") {
+		if n := strings.Count(line, "|") - strings.Count(line, `\|`); n != 3 {
+			t.Errorf("line %d has %d unescaped pipes, want 3: %q", i, n, line)
+		}
+	}
+}

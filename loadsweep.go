@@ -37,7 +37,8 @@ type LoadSweepResult struct {
 // LoadKneeResult is one architecture's detected saturation point: the
 // highest swept load whose p99 stayed within the configured knee factor of
 // the lowest swept load's p99. Saturated is false when the grid never
-// reached the knee.
+// reached the knee; such a curve (including a single-load grid, which
+// cannot bracket a knee) reports the explicit no-knee result Knee 0.
 type LoadKneeResult struct {
 	Arch      string
 	Knee      float64

@@ -44,7 +44,9 @@ type RackSweepResult struct {
 // RackKneeResult is one (arch, racks, ECN) curve's detected saturation
 // point: the highest swept load whose p99 stayed within the configured
 // knee factor of the lowest swept load's p99. Saturated is false when the
-// grid never reached the knee.
+// grid never reached the knee; such a curve (including a single-load
+// grid, which cannot bracket a knee) reports the explicit no-knee result
+// Knee 0.
 type RackKneeResult struct {
 	Arch      string
 	Racks     int
